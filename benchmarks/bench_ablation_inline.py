@@ -1,0 +1,82 @@
+"""Ablation — thread-context-aware inlining (Algorithm 1, lines 6-7).
+
+When the encountering thread already belongs to the named virtual target,
+Algorithm 1 runs the block synchronously instead of posting it.  This
+ablation measures the cost of disabling that rule: every member-thread
+dispatch pays a queue round trip (and, on a single-member EDT, would even
+deadlock for waiting modes — which is why the rule exists).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PjRuntime, TargetRegion
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    runtime.create_worker("worker", 2)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+def _nested_dispatch_inline(rt: PjRuntime, depth: int) -> int:
+    """Member thread re-dispatches to its own target `depth` times; the
+    context-awareness rule makes every level inline."""
+
+    def level(d: int):
+        if d == 0:
+            return 0
+        return rt.invoke_target_block("worker", lambda: level(d - 1)).result() + 1
+
+    return rt.invoke_target_block("worker", lambda: level(depth)).result()
+
+
+def _nested_dispatch_posted(rt: PjRuntime, depth: int) -> int:
+    """The ablated variant: force a queue round trip per level by posting
+    regions directly (bypassing the contains() check)."""
+
+    target = rt.get_target("worker")
+
+    def level(d: int):
+        if d == 0:
+            return 0
+        region = TargetRegion(lambda: level(d - 1))
+        target.post(region)
+        return region.result(timeout=10) + 1
+
+    region = TargetRegion(lambda: level(depth))
+    target.post(region)
+    return region.result(timeout=10)
+
+
+DEPTH = 8
+
+
+def test_ablation_inline_enabled(benchmark, rt):
+    assert _nested_dispatch_inline(rt, DEPTH) == DEPTH
+    benchmark(lambda: _nested_dispatch_inline(rt, DEPTH))
+
+
+def test_ablation_inline_disabled(benchmark, rt):
+    # Needs a pool wider than the nesting depth to avoid self-deadlock —
+    # itself a demonstration of why Algorithm 1 inlines.
+    rt.unregister_target("worker")
+    rt.create_worker("worker", DEPTH + 2)
+    assert _nested_dispatch_posted(rt, DEPTH) == DEPTH
+    benchmark(lambda: _nested_dispatch_posted(rt, DEPTH))
+
+
+def test_ablation_inline_prevents_deadlock(rt):
+    """With a 1-thread pool, nested waiting dispatch only works because of
+    the inline rule; the posted variant would starve."""
+    rt.unregister_target("worker")
+    rt.create_worker("worker", 1)
+
+    def nested():
+        return rt.invoke_target_block("worker", lambda: "inner").result()
+
+    handle = rt.invoke_target_block("worker", nested, "nowait")
+    assert handle.result(timeout=5) == "inner"

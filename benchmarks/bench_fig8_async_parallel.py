@@ -1,0 +1,88 @@
+"""Figure 8 — asynchronous vs asynchronous-parallel event handling.
+
+Paper §V-A second comparison: offloading alone (``target virtual``)
+vs offloading combined with per-event ``omp parallel`` (3 worker threads) —
+the *asynchronous parallel* mode the extended model enables.
+
+Expected shape: async-parallel cuts each response's latency by roughly the
+kernel's 3-thread speedup while cores are idle; as the request load
+approaches machine saturation the advantage shrinks (parallelism cannot add
+capacity, only reduce per-event span).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import GUI_KERNELS, GuiBenchConfig, run_gui_benchmark
+
+RATES = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+N_EVENTS = 200
+PARALLEL_THREADS = 3
+
+
+def sweep(kernel_name: str) -> dict[str, list[float]]:
+    kernel = GUI_KERNELS[kernel_name]
+    out: dict[str, list[float]] = {}
+    for approach in ("sequential", "pyjama_async", "async_parallel"):
+        out[approach] = [
+            run_gui_benchmark(
+                GuiBenchConfig(
+                    approach=approach,
+                    kernel=kernel,
+                    rate=float(rate),
+                    n_events=N_EVENTS,
+                    parallel_threads=PARALLEL_THREADS,
+                )
+            ).response.mean
+            * 1000.0
+            for rate in RATES
+        ]
+    return out
+
+
+@pytest.mark.parametrize("kernel_name", sorted(GUI_KERNELS))
+def test_fig8_async_vs_async_parallel(benchmark, report, kernel_name):
+    data = benchmark.pedantic(sweep, args=(kernel_name,), rounds=1, iterations=1)
+    kernel = GUI_KERNELS[kernel_name]
+
+    header = f"{'req/s':>6} | {'sequential':>10} | {'async':>10} | {'async-par':>10} | {'gain':>6}"
+    lines = [
+        f"Figure 8 [{kernel_name}]: async vs async-parallel "
+        f"({PARALLEL_THREADS} team threads), mean response (ms)",
+        header,
+        "-" * len(header),
+    ]
+    for i, rate in enumerate(RATES):
+        gain = data["pyjama_async"][i] / data["async_parallel"][i]
+        lines.append(
+            f"{rate:>6} | {data['sequential'][i]:>10.1f} | "
+            f"{data['pyjama_async'][i]:>10.1f} | {data['async_parallel'][i]:>10.1f} | "
+            f"{gain:>5.2f}x"
+        )
+    report(f"fig8_{kernel_name}", lines)
+
+    # Low load: async-parallel approaches the kernel's ideal team speedup.
+    ideal = kernel.speedup(PARALLEL_THREADS)
+    gain_low = data["pyjama_async"][0] / data["async_parallel"][0]
+    assert gain_low > 1.0
+    assert gain_low <= ideal * 1.05
+    assert gain_low >= ideal * 0.45  # handler fixed costs dilute the ideal
+
+    # High load: if the sweep actually saturates the machine, the advantage
+    # shrinks; for a kernel light enough that 100 req/s never fills the
+    # 4 cores, the gain simply persists.
+    gain_high = data["pyjama_async"][-1] / data["async_parallel"][-1]
+    demand_at_top = RATES[-1] * kernel.serial_time
+    if demand_at_top > 0.9 * 4:  # cores in GuiBenchConfig default
+        assert gain_high < gain_low
+    else:
+        assert gain_high == pytest.approx(gain_low, rel=0.10)
+
+    # Both async modes beat sequential once the EDT saturates.
+    sat_idx = next(
+        (i for i, r in enumerate(RATES) if r > 1.3 / kernel.serial_time), None
+    )
+    if sat_idx is not None:
+        assert data["pyjama_async"][sat_idx] < data["sequential"][sat_idx]
+        assert data["async_parallel"][sat_idx] < data["sequential"][sat_idx]

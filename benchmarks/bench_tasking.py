@@ -1,0 +1,60 @@
+"""Micro-benchmarks — OpenMP tasks vs virtual-target dispatch.
+
+The paper's motivating contrast (§I): OpenMP tasks are confined to parallel
+regions, while target blocks dispatch from anywhere.  These benchmarks
+quantify both mechanisms' overheads on real threads:
+
+* orphaned task (sequential inline execution — what confinement degrades to),
+* deferred task spawn+taskwait inside a team,
+* a virtual-target nowait dispatch for comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.openmp as omp
+from repro.core import PjRuntime
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    runtime.create_worker("worker", 2)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+def test_task_orphaned_inline(benchmark):
+    benchmark(lambda: omp.task(lambda: 1).result())
+
+
+def test_task_deferred_spawn_and_taskwait(benchmark):
+    def region():
+        def body():
+            def spawn():
+                for _ in range(8):
+                    omp.task(lambda: 1)
+
+            omp.single(spawn, nowait=True)
+            omp.taskwait()
+
+        omp.parallel(body, num_threads=2)
+
+    benchmark(region)
+
+
+def test_target_nowait_dispatch_for_comparison(benchmark, rt):
+    def dispatch_batch():
+        handles = [
+            rt.invoke_target_block("worker", lambda: 1, "nowait") for _ in range(8)
+        ]
+        for h in handles:
+            h.wait(5)
+
+    benchmark(dispatch_batch)
+
+
+def test_region_fork_join_overhead(benchmark):
+    """The cost the EDT would pay per sync-parallel event (paper §V-A)."""
+    benchmark(lambda: omp.parallel(lambda: None, num_threads=4))

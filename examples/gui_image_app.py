@@ -1,0 +1,108 @@
+"""The paper's Figure 6 application, end to end on real threads.
+
+Run:  python examples/gui_image_app.py
+
+A (headless) GUI app: clicking the button kicks off a "download + image
+processing" pipeline.  Two handler versions are compared under a burst of
+clicks:
+
+* ``sequential`` — everything on the EDT (pragmas ignored, as a
+  non-supporting compiler would);
+* ``pyjama`` — the compiled version: compute offloaded to the worker
+  virtual target, GUI updates hopping back to the EDT.
+
+The app prints each event's response time and — the paper's point — how
+quickly the EDT handled an unrelated "quick" event fired mid-burst.
+"""
+
+import time
+
+from repro.compiler import exec_omp
+from repro.core import PjRuntime
+from repro.eventloop import Button, EventLoop, Panel
+from repro.kernels import raytracer
+
+HANDLER_SOURCE = '''
+def make_handler(panel, get_hash_code, download_and_compute):
+    def button_on_click(event):
+        panel.show_msg("Started EDT handling")
+        info = panel.collect_input()
+        #omp target virtual(worker) nowait
+        if True:
+            hscode = get_hash_code(info)
+            img = download_and_compute(hscode)
+            #omp target virtual(edt) nowait
+            if True:
+                panel.display_img(img)
+                panel.show_msg("Finished!")
+                event.record.mark_finished()
+    return button_on_click
+'''
+
+SCENE = raytracer.default_scene(16)
+
+
+def get_hash_code(info) -> int:
+    return hash(str(info)) & 0xFFFF
+
+
+def download_and_compute(hscode: int):
+    time.sleep(0.01)  # the network download
+    image = raytracer.render(SCENE, width=24, height=24)  # the processing
+    return f"image(checksum={raytracer.checksum(image):.2f})"
+
+
+def run_version(name: str, use_pragmas: bool, clicks: int = 6) -> None:
+    rt = PjRuntime()
+    loop = EventLoop(rt, "edt")
+    rt.create_worker("worker", 3)
+    panel = Panel(loop)
+    button = Button(loop)
+    loop.invoke_and_wait(lambda: panel.set_input({"query": "sunset"}))
+
+    if use_pragmas:
+        ns = exec_omp(HANDLER_SOURCE, runtime=rt)
+        handler = ns["make_handler"](panel, get_hash_code, download_and_compute)
+        button.on_click(EventLoop.defer_completion(handler))
+    else:
+        def handler(event):  # what a non-supporting compiler executes
+            panel.show_msg("Started EDT handling")
+            info = panel.collect_input()
+            img = download_and_compute(get_hash_code(info))
+            panel.display_img(img)
+            panel.show_msg("Finished!")
+
+        button.on_click(handler)
+
+    records = [button.click() for _ in range(clicks)]
+    # An unrelated event in the middle of the burst: the responsiveness probe.
+    time.sleep(0.005)
+    t0 = time.perf_counter()
+    probe = {}
+    loop.invoke_later(lambda: probe.__setitem__("latency", time.perf_counter() - t0))
+
+    assert loop.wait_all_finished(timeout=30)
+    deadline = time.monotonic() + 5
+    while "latency" not in probe and time.monotonic() < deadline:
+        time.sleep(0.005)
+
+    mean_rt = sum(r.response_time for r in records) / len(records)
+    print(f"[{name}]")
+    print(f"  mean click response : {mean_rt * 1000:8.1f} ms over {clicks} clicks")
+    print(f"  EDT probe latency   : {probe.get('latency', float('nan')) * 1000:8.1f} ms")
+    print(f"  images rendered     : {len(panel.images)}")
+    rt.shutdown(wait=False)
+
+
+def main() -> None:
+    print("Figure 6 app: burst of clicks, download+raytrace per click\n")
+    run_version("sequential (pragmas ignored)", use_pragmas=False)
+    run_version("pyjama (compiled pragmas)   ", use_pragmas=True)
+    print(
+        "\nNote: identical code modulo comments; with pragmas compiled, the "
+        "EDT probe is answered immediately while the renders run in the pool."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: the event-driven OpenMP extension in five minutes.
+
+Run:  python examples/quickstart.py
+
+Covers: creating virtual targets (paper Table II), the four scheduling
+clauses (Table I), the decorator API, and the source-to-source compiler.
+"""
+
+import time
+
+from repro.compiler import compiled_source_of, omp
+from repro.core import (
+    PjRuntime,
+    on_target,
+    run_on,
+    wait_for,
+)
+
+
+def main() -> None:
+    rt = PjRuntime()
+
+    # --- Table II: register the executors -------------------------------
+    rt.create_worker("worker", 4)           # virtual_target_create_worker
+    rt.start_edt("edt")                    # a headless event-dispatch thread
+
+    # --- default clause: offload and wait --------------------------------
+    handle = run_on("worker", lambda: sum(range(1_000_00)), runtime=rt)
+    print(f"default  : result={handle.result()} (caller waited)")
+
+    # --- nowait: fire and forget -----------------------------------------
+    handle = run_on(
+        "worker", lambda: time.sleep(0.05) or "finished-later",
+        mode="nowait", runtime=rt,
+    )
+    print(f"nowait   : returned immediately, done={handle.done}")
+    print(f"           ... later: {handle.result(timeout=2)}")
+
+    # --- name_as + wait: join a named task group --------------------------
+    results = []
+    for i in range(4):
+        run_on(
+            "worker", lambda i=i: results.append(i * i),
+            mode="name_as", tag="squares", runtime=rt,
+        )
+    wait_for("squares", runtime=rt)
+    print(f"name_as  : group finished, results={sorted(results)}")
+
+    # --- decorator API -----------------------------------------------------
+    @on_target("worker", runtime=rt)
+    def heavy(n: int) -> int:
+        return sum(i * i for i in range(n))
+
+    print(f"decorator: heavy(1000)={heavy(1000)} (ran on the pool)")
+
+    # --- the compiler: pragmas in plain Python ----------------------------
+    @omp(runtime=rt)
+    def pragma_demo(n):
+        total = 0
+        #omp parallel for num_threads(4) reduction(+:total)
+        for i in range(n):
+            total += i
+        #omp target virtual(worker)
+        message = f"sum(0..{n}) = {total}"
+        return message
+
+    print(f"compiler : {pragma_demo(100)}")
+    print("--- generated code (excerpt) ---")
+    for line in compiled_source_of(pragma_demo).splitlines()[:12]:
+        print("   ", line)
+
+    rt.shutdown()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

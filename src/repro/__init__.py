@@ -1,0 +1,35 @@
+"""repro — reproduction of *Towards an Event-Driven Programming Model for
+OpenMP* (Fan, Sinnen, Giacaman; ICPP 2016).
+
+Subpackages
+-----------
+core
+    The paper's contribution: virtual targets, scheduling clauses, Algorithm 1
+    runtime, on real Python threads.
+compiler
+    Pyjama-style source-to-source compiler: rewrites ``#omp`` comment pragmas
+    in Python functions into runtime calls.
+openmp
+    Classic fork-join OpenMP substrate (parallel regions, worksharing,
+    reductions, synchronization) so the two models coexist as in the paper.
+eventloop
+    Swing-like event-driven substrate: event queue, EDT, SwingWorker and
+    ExecutorService baselines, EDT-confined mock GUI widgets.
+kernels
+    Java Grande kernel ports: Crypt, Series, MonteCarlo, RayTracer.
+sim
+    Discrete-event simulator regenerating the paper's performance evaluation
+    (Figures 7-9) on a virtual-time machine model, with execution tracing.
+adapters
+    Bindings to other event frameworks (asyncio), per the paper's future
+    work, including async-I/O offloading.
+cli
+    ``python -m repro`` — regenerate figures, render occupancy timelines,
+    compile files.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

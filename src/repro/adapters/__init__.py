@@ -1,0 +1,25 @@
+"""Adapters binding the virtual-target model to other event frameworks.
+
+The paper's conclusion names the future work this package implements: *"a
+more universal implementation to support more event-driven frameworks and
+integrating non-blocking I/O and asynchronous I/O into this model."*
+
+* :mod:`asyncio_target` — register a running :mod:`asyncio` event loop as a
+  virtual target (its callback thread plays the EDT role), bridge region
+  completions into awaitable futures, and offload blocking I/O to worker
+  targets from coroutines.
+"""
+
+from .asyncio_target import (
+    AsyncioEdtTarget,
+    as_future,
+    register_asyncio_edt,
+    run_blocking_io,
+)
+
+__all__ = [
+    "AsyncioEdtTarget",
+    "as_future",
+    "register_asyncio_edt",
+    "run_blocking_io",
+]

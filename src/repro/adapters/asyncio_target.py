@@ -1,0 +1,151 @@
+"""asyncio adapter: an asyncio event loop as a virtual target.
+
+The paper's experimental runtime binds to Java AWT's event queue; the same
+model fits any dispatcher with a "post a callable" primitive.  asyncio's is
+``loop.call_soon_threadsafe``, so:
+
+* ``target virtual(<name>)`` blocks posted from worker threads run as
+  callbacks on the asyncio loop (the EDT role);
+* the context-awareness rule holds — dispatch from inside the loop's thread
+  runs inline;
+* ``nowait`` / ``name_as`` work unchanged;
+* ``await`` is *rejected with guidance*: an asyncio loop cannot be pumped
+  re-entrantly from inside a callback, so the logical barrier is expressed
+  natively instead — :func:`as_future` turns any region handle into an
+  awaitable, making ``await as_future(run_on(...))`` the coroutine spelling
+  of the paper's await clause.
+
+:func:`run_blocking_io` covers the conclusion's "integrating non-blocking
+I/O and asynchronous I/O": blocking I/O calls are offloaded to a worker
+virtual target and awaited without blocking the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable
+
+from ..core.errors import RuntimeStateError, TargetShutdownError
+from ..core.region import TargetRegion
+from ..core.runtime import PjRuntime
+from ..core.targets import VirtualTarget
+
+__all__ = ["AsyncioEdtTarget", "register_asyncio_edt", "as_future", "run_blocking_io"]
+
+
+class AsyncioEdtTarget(VirtualTarget):
+    """Wraps a running :class:`asyncio.AbstractEventLoop` as a virtual target.
+
+    The loop's callback thread becomes the single member, so widget-style
+    code guarded by ``target virtual(<name>)`` executes on the loop exactly
+    like EDT-confined code does under Swing.
+    """
+
+    supports_pumping = False  # asyncio loops cannot be pumped re-entrantly
+
+    def __init__(self, name: str, loop: asyncio.AbstractEventLoop) -> None:
+        super().__init__(name)
+        self.loop = loop
+        self._bound = threading.Event()
+        loop.call_soon_threadsafe(self._bind)
+
+    def _bind(self) -> None:
+        self._enter_member()
+        self._bound.set()
+
+    def wait_bound(self, timeout: float = 5.0) -> bool:
+        """Block until the loop thread registered itself (setup helper)."""
+        return self._bound.wait(timeout)
+
+    # ---------------------------------------------------------------- posts
+
+    def post(self, item: TargetRegion | Callable[[], Any]) -> None:
+        if self._shutdown.is_set():
+            raise TargetShutdownError(self.name)
+        if self.loop.is_closed():
+            raise TargetShutdownError(self.name)
+        self.loop.call_soon_threadsafe(lambda: self._dispatch(item))
+
+    def process_one(self, timeout: float | None = None) -> bool:
+        raise RuntimeStateError(
+            f"asyncio target {self.name!r} cannot be pumped; await regions "
+            "with as_future() inside coroutines instead"
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        # The loop belongs to the application; we only detach from it.
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        thread = next(iter(self._members), None) if self._members else None
+        if thread is not None:
+            self._exit_member(thread)
+
+
+def register_asyncio_edt(
+    runtime: PjRuntime,
+    name: str = "edt",
+    loop: asyncio.AbstractEventLoop | None = None,
+) -> AsyncioEdtTarget:
+    """Register a (running) asyncio loop as virtual target *name*.
+
+    Call from inside the loop (``loop`` defaults to the running loop) or
+    from another thread with an explicit loop object.
+    """
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    target = AsyncioEdtTarget(name, loop)
+    runtime.register_target(target)
+    return target
+
+
+def as_future(
+    region: TargetRegion, loop: asyncio.AbstractEventLoop | None = None
+) -> "asyncio.Future[Any]":
+    """An awaitable view of a region handle.
+
+    The coroutine spelling of the paper's ``await`` clause::
+
+        handle = run_on("worker", blocking_kernel, mode="nowait", runtime=rt)
+        result = await as_future(handle)     # loop keeps dispatching
+
+    The future resolves with the region's result, or raises its
+    :class:`~repro.core.errors.RegionFailedError`.
+    """
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    future: asyncio.Future[Any] = loop.create_future()
+
+    def resolve(reg: TargetRegion) -> None:
+        def apply() -> None:
+            if future.cancelled():
+                return
+            try:
+                future.set_result(reg.result())
+            except BaseException as exc:  # noqa: BLE001 - forwarded to awaiter
+                future.set_exception(exc)
+
+        loop.call_soon_threadsafe(apply)
+
+    region.add_done_callback(resolve)
+    return future
+
+
+async def run_blocking_io(
+    runtime: PjRuntime,
+    target: str,
+    fn: Callable[..., Any],
+    *args: Any,
+    **kwargs: Any,
+) -> Any:
+    """Run blocking I/O (or CPU work) on a worker virtual target and await
+    it without blocking the asyncio loop.
+
+    The async-I/O integration the paper's conclusion sketches: the worker
+    target is the paper's executor; the future bridge keeps the loop free.
+    """
+    region = runtime.invoke_target_block(
+        target, TargetRegion(fn, *args, **kwargs), "nowait"
+    )
+    return await as_future(region)

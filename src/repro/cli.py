@@ -1,0 +1,293 @@
+"""Command-line interface: regenerate the paper's figures and inspect kernels.
+
+Usage::
+
+    python -m repro fig1
+    python -m repro fig7 --kernel crypt --rates 10,30,50,100
+    python -m repro fig8 --kernel raytracer
+    python -m repro fig9 --workers 1,2,4,8,16,32
+    python -m repro timeline --approach pyjama_async --rate 30
+    python -m repro kernels [--size A]
+
+Every subcommand prints the same rows the corresponding benchmark asserts
+on; the benchmarks (``pytest benchmarks/ --benchmark-only``) remain the
+checked source of truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .kernels import KERNELS, get_kernel, time_kernel
+from .sim import (
+    GUI_KERNELS,
+    GuiBenchConfig,
+    HttpBenchConfig,
+    KernelCostModel,
+    Machine,
+    MachineConfig,
+    SimEventLoop,
+    SimThreadPool,
+    Simulator,
+    TraceRecorder,
+    render_ascii,
+    run_gui_benchmark,
+    run_http_benchmark,
+)
+from .sim.approaches import APPROACHES, _HANDLERS, _build_world
+from .sim.workload import fire_open_loop
+
+__all__ = ["main"]
+
+
+def _parse_int_list(text: str) -> list[int]:
+    try:
+        return [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    handler = KernelCostModel("fig1", serial_time=args.handler_ms / 1000.0,
+                              parallel_fraction=0.9)
+    for approach, title in (
+        ("sequential", "(i) single-threaded event processing"),
+        ("executor", "(ii) multi-threaded (thread-pool) processing"),
+    ):
+        result = run_gui_benchmark(
+            GuiBenchConfig(approach=approach, kernel=handler,
+                           rate=1000.0 / args.spacing_ms, n_events=args.events)
+        )
+        print(title)
+        for i, rt in enumerate(result.response.samples):
+            print(f"    request{i + 1}: fired at {i * args.spacing_ms:.0f}ms, "
+                  f"responded after {rt * 1000:7.1f}ms")
+    return 0
+
+
+def _resolve_kernel(args: argparse.Namespace):
+    if getattr(args, "calibrate", False):
+        from .sim import calibrate_from_host
+
+        models = calibrate_from_host()
+        print(f"(calibrated from host: {args.kernel} = "
+              f"{models[args.kernel].serial_time * 1000:.1f} ms serial)")
+        return models[args.kernel]
+    return GUI_KERNELS[args.kernel]
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    kernel = _resolve_kernel(args)
+    approaches = args.approaches.split(",")
+    for a in approaches:
+        if a not in APPROACHES:
+            print(f"unknown approach {a!r}; choose from {', '.join(APPROACHES)}",
+                  file=sys.stderr)
+            return 2
+    header = f"{'req/s':>6} | " + " | ".join(f"{a[:12]:>12}" for a in approaches)
+    metric = args.metric
+    print(f"Figure 7 [{args.kernel}]: mean {metric} time (ms), "
+          f"kernel={kernel.serial_time * 1000:.0f}ms")
+    print(header)
+    print("-" * len(header))
+    for rate in args.rates:
+        row = []
+        for approach in approaches:
+            r = run_gui_benchmark(GuiBenchConfig(
+                approach=approach, kernel=kernel, rate=float(rate),
+                n_events=args.events))
+            stats = r.response if metric == "response" else r.dispatch
+            row.append(stats.mean * 1000)
+        print(f"{rate:>6} | " + " | ".join(f"{v:>12.1f}" for v in row))
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    kernel = _resolve_kernel(args)
+    print(f"Figure 8 [{args.kernel}]: async vs async-parallel "
+          f"({args.team} team threads), mean response (ms)")
+    print(f"{'req/s':>6} | {'async':>10} | {'async-par':>10} | {'gain':>6}")
+    for rate in args.rates:
+        a = run_gui_benchmark(GuiBenchConfig(
+            approach="pyjama_async", kernel=kernel, rate=float(rate),
+            n_events=args.events)).response.mean * 1000
+        p = run_gui_benchmark(GuiBenchConfig(
+            approach="async_parallel", kernel=kernel, rate=float(rate),
+            n_events=args.events, parallel_threads=args.team)).response.mean * 1000
+        print(f"{rate:>6} | {a:>10.1f} | {p:>10.1f} | {a / p:>5.2f}x")
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    variants = [("jetty", None), ("pyjama", None),
+                ("jetty", args.team), ("pyjama", args.team)]
+    labels = ["jetty", "pyjama", f"jetty+par{args.team}", f"pyjama+par{args.team}"]
+    header = f"{'workers':>8} | " + " | ".join(f"{l:>14}" for l in labels)
+    print("Figure 9: throughput (responses/sec), "
+          f"{args.users} virtual users, 16 cores")
+    print(header)
+    print("-" * len(header))
+    for w in args.workers:
+        row = []
+        for server, par in variants:
+            r = run_http_benchmark(HttpBenchConfig(
+                server=server, worker_threads=w, parallel_threads=par,
+                n_users=args.users))
+            row.append(r.throughput)
+        print(f"{w:>8} | " + " | ".join(f"{v:>14.1f}" for v in row))
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Render an EDT/worker occupancy Gantt for one approach."""
+    if args.approach not in APPROACHES:
+        print(f"unknown approach {args.approach!r}", file=sys.stderr)
+        return 2
+    cfg = GuiBenchConfig(approach=args.approach, kernel=GUI_KERNELS[args.kernel],
+                         rate=float(args.rate), n_events=args.events,
+                         await_style=args.await_style)
+    # Rebuild the approach world with tracing enabled.
+    trace = TraceRecorder()
+    w = _build_world(cfg)
+    w.edt.trace = trace
+    for pool in w.pools.values():
+        pool.trace = trace
+    handler = _HANDLERS[cfg.approach]
+
+    def fire(i: int) -> None:
+        fired_at = w.sim.now
+        w.edt.post(lambda: handler(w, lambda: w.stats.record(fired_at, w.sim.now)))
+
+    fire_open_loop(w.sim, cfg.rate, cfg.n_events, fire)
+    w.sim.run()
+    print(f"timeline: {args.approach} on {args.kernel}, {args.rate} req/s, "
+          f"{args.events} events")
+    print(render_ascii(trace, width=args.width))
+    print(f"mean response: {w.stats.mean * 1000:.1f} ms; "
+          f"EDT busy: {trace.lane_busy_time('edt') * 1000:.1f} ms")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Pyjama-style file compilation: ``repro compile app.py -o app_omp.py``."""
+    from .compiler import compile_source
+    from .compiler.codegen import BRIDGE, RUNTIME
+
+    try:
+        source = open(args.input, encoding="utf-8").read()
+    except OSError as exc:
+        print(f"cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        compiled = compile_source(source, filename=args.input)
+    except SyntaxError as exc:
+        print(f"syntax error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # DirectiveSyntaxError and friends
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 2
+
+    prelude = (
+        "# Generated by `python -m repro compile`; do not edit.\n"
+        f"import repro.compiler.bridge as {BRIDGE}\n"
+        f"{RUNTIME} = None  # None = the process-default PjRuntime\n\n"
+    )
+    output = prelude + compiled + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(output)
+        print(f"wrote {args.output}")
+    else:
+        print(output, end="")
+    return 0
+
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    print(f"{'kernel':>12} | {'size':>8} | {'valid':>5} | {'t (ms)':>8} | paper | description")
+    for name in sorted(KERNELS):
+        spec = get_kernel(name)
+        size = spec.sizes[args.size]
+        ok = spec.validate(size)
+        t = time_kernel(name, args.size, repeats=1)
+        print(f"{name:>12} | {size:>8} | {str(ok):>5} | {t * 1000:>8.1f} | "
+              f"{'yes' if spec.in_paper else 'ext':>5} | {spec.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of 'Towards an Event-Driven "
+                    "Programming Model for OpenMP' (ICPP 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="dispatch timelines (Figure 1)")
+    p.add_argument("--handler-ms", type=float, default=200.0)
+    p.add_argument("--spacing-ms", type=float, default=50.0)
+    p.add_argument("--events", type=int, default=3)
+    p.set_defaults(func=cmd_fig1)
+
+    p = sub.add_parser("fig7", help="GUI response time vs load (Figure 7)")
+    p.add_argument("--kernel", choices=sorted(GUI_KERNELS), default="crypt")
+    p.add_argument("--rates", type=_parse_int_list,
+                   default=[10, 20, 30, 40, 50, 60, 70, 80, 90, 100])
+    p.add_argument("--events", type=int, default=200)
+    p.add_argument("--approaches",
+                   default="sequential,swingworker,executor,pyjama_async,sync_parallel")
+    p.add_argument("--metric", choices=["response", "dispatch"], default="response",
+                   help="dispatch = EDT responsiveness (fire -> handler start)")
+    p.add_argument("--calibrate", action="store_true",
+                   help="derive kernel times from this host's real kernels")
+    p.set_defaults(func=cmd_fig7)
+
+    p = sub.add_parser("fig8", help="async vs async-parallel (Figure 8)")
+    p.add_argument("--kernel", choices=sorted(GUI_KERNELS), default="crypt")
+    p.add_argument("--rates", type=_parse_int_list, default=[10, 30, 50, 80, 100])
+    p.add_argument("--events", type=int, default=200)
+    p.add_argument("--team", type=int, default=3)
+    p.add_argument("--calibrate", action="store_true",
+                   help="derive kernel times from this host's real kernels")
+    p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser("fig9", help="HTTP throughput vs workers (Figure 9)")
+    p.add_argument("--workers", type=_parse_int_list, default=[1, 2, 4, 8, 16, 32, 64])
+    p.add_argument("--users", type=int, default=100)
+    p.add_argument("--team", type=int, default=8)
+    p.set_defaults(func=cmd_fig9)
+
+    p = sub.add_parser("timeline", help="ASCII EDT/worker occupancy Gantt")
+    p.add_argument("--approach", default="pyjama_async")
+    p.add_argument("--kernel", choices=sorted(GUI_KERNELS), default="crypt")
+    p.add_argument("--rate", type=float, default=30.0)
+    p.add_argument("--events", type=int, default=8)
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--await-style", choices=["continuation", "pumping"],
+                   default="continuation",
+                   help="pumping = Algorithm 1's nested message loops")
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser("kernels", help="validate and time the kernel suite")
+    p.add_argument("--size", choices=["A", "B", "C"], default="A")
+    p.set_defaults(func=cmd_kernels)
+
+    p = sub.add_parser(
+        "compile", help="source-to-source compile a file's #omp pragmas"
+    )
+    p.add_argument("input")
+    p.add_argument("-o", "--output", default=None,
+                   help="output path (default: stdout)")
+    p.set_defaults(func=cmd_compile)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

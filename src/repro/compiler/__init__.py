@@ -1,0 +1,39 @@
+"""Pyjama-style source-to-source compiler for ``#omp`` comment pragmas.
+
+Pipeline (paper §IV-A): scan pragmas → parse directives → lift annotated
+blocks into generated region functions → replace with runtime calls.
+Non-supporting interpreters see only comments, preserving sequential
+correctness — the core OpenMP design rule the paper's extension keeps.
+"""
+
+from .api import compile_source, compiled_source_of, exec_omp, omp
+from .directive_parser import (
+    BarrierDir,
+    CriticalDir,
+    ForDir,
+    MasterDir,
+    ParallelDir,
+    ParallelForDir,
+    ParallelSectionsDir,
+    ParsedDirective,
+    SectionDir,
+    SectionsDir,
+    SingleDir,
+    TargetDir,
+    TaskDir,
+    TaskwaitDir,
+    WaitDir,
+    parse_directive,
+)
+from .scanner import PragmaComment, scan_pragmas
+from .transform import OmpTransformer, transform_source
+
+__all__ = [
+    "compile_source", "compiled_source_of", "exec_omp", "omp",
+    "BarrierDir", "CriticalDir", "ForDir", "MasterDir", "ParallelDir",
+    "ParallelForDir", "ParallelSectionsDir", "ParsedDirective", "SectionDir",
+    "SectionsDir", "SingleDir", "TargetDir", "TaskDir", "TaskwaitDir",
+    "WaitDir", "parse_directive",
+    "PragmaComment", "scan_pragmas",
+    "OmpTransformer", "transform_source",
+]

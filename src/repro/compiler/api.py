@@ -1,0 +1,162 @@
+"""User-facing compiler API: ``@omp`` decorator and whole-source compilation.
+
+Usage, mirroring the paper's Figure 6 in Python::
+
+    from repro.compiler import omp
+    from repro.core import virtual_target_create_worker, start_edt
+
+    start_edt("edt")
+    virtual_target_create_worker("worker", 4)
+
+    @omp
+    def button_on_click(panel, info):
+        panel.show_msg("Started EDT handling")
+        #omp target virtual(worker) nowait
+        if True:
+            hscode = get_hash_code(info)
+            download_and_compute(hscode)
+            #omp target virtual(edt) nowait
+            panel.show_msg("Finished!")
+
+A non-supporting interpreter simply ignores the pragmas (they are comments)
+and runs the function sequentially — the OpenMP philosophy the paper's
+semantic design follows.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import linecache
+import textwrap
+from typing import Any, Callable, TypeVar, overload
+
+from ..core.errors import DirectiveSyntaxError
+from ..core.runtime import PjRuntime
+from . import bridge
+from .codegen import BRIDGE, RUNTIME
+from .transform import OmpTransformer, transform_source
+
+__all__ = ["omp", "compile_source", "exec_omp", "compiled_source_of"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def compile_source(source: str, filename: str = "<omp>") -> str:
+    """Source-to-source compile: pragmas become runtime calls.
+
+    The output references ``__repro_omp__``/``__repro_omp_rt__``; execute it
+    with :func:`exec_omp`, which binds them.
+    """
+    return transform_source(source, filename)
+
+
+def _register_source(filename: str, source: str) -> None:
+    """Make the generated source visible to tracebacks and pdb.
+
+    Exceptions raised inside compiled regions would otherwise point at lines
+    of a file that does not exist; registering the generated text in
+    :mod:`linecache` lets tracebacks display the actual generated code.
+    """
+    linecache.cache[filename] = (
+        len(source),
+        None,
+        source.splitlines(keepends=True),
+        filename,
+    )
+
+
+def exec_omp(
+    source: str,
+    namespace: dict[str, Any] | None = None,
+    *,
+    runtime: PjRuntime | None = None,
+    filename: str = "<omp>",
+) -> dict[str, Any]:
+    """Compile *source* and execute it; returns the namespace."""
+    compiled = compile_source(source, filename)
+    _register_source(filename, compiled)
+    ns = namespace if namespace is not None else {}
+    ns[BRIDGE] = bridge
+    ns[RUNTIME] = runtime
+    exec(compile(compiled, filename, "exec"), ns)  # noqa: S102 - the point of the tool
+    return ns
+
+
+@overload
+def omp(fn: F) -> F: ...
+@overload
+def omp(*, runtime: PjRuntime | None = ..., debug: bool = ...) -> Callable[[F], F]: ...
+
+
+def omp(fn: Callable[..., Any] | None = None, *, runtime: PjRuntime | None = None,
+        debug: bool = False):
+    """Decorator: compile a function's ``#omp`` pragmas.
+
+    Parameters
+    ----------
+    runtime:
+        Bind the generated dispatch calls to a specific :class:`PjRuntime`
+        (None = the process default at call time).
+    debug:
+        Attach the generated source as ``fn.__omp_source__`` (it is always
+        retrievable via :func:`compiled_source_of`).
+
+    Closure variables are snapshotted into the compiled function's globals;
+    rebinding them later in the enclosing scope is not reflected (documented
+    divergence — Pyjama compiles whole files, where the question never
+    arises).
+    """
+    if fn is None:
+        return functools.partial(omp, runtime=runtime, debug=debug)
+
+    try:
+        raw = inspect.getsource(fn)
+    except (OSError, TypeError) as exc:
+        raise DirectiveSyntaxError(
+            f"cannot read source of {fn!r} (interactive definitions need "
+            "compile_source/exec_omp instead)"
+        ) from exc
+    source = textwrap.dedent(raw)
+
+    transformer = OmpTransformer(source, filename=f"<omp {fn.__qualname__}>")
+    tree = transformer.transform_module()
+    fndefs = [n for n in tree.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    if not fndefs or fndefs[0].name != fn.__name__:
+        raise DirectiveSyntaxError(
+            f"@omp expects a plain function definition; got {source.splitlines()[0]!r}"
+        )
+    fndefs[0].decorator_list = []  # drop @omp itself (and stacked decorators)
+    new_source = ast.unparse(tree)
+
+    globalns = dict(fn.__globals__)
+    if fn.__closure__:
+        for name, cell in zip(fn.__code__.co_freevars, fn.__closure__):
+            try:
+                globalns[name] = cell.cell_contents
+            except ValueError:
+                # Empty cell: typically the function's own (not yet bound)
+                # name in a recursive def — the compiled def fills it.
+                continue
+    globalns[BRIDGE] = bridge
+    globalns[RUNTIME] = runtime
+    gen_filename = f"<omp {fn.__qualname__}>"
+    _register_source(gen_filename, new_source)
+    exec(compile(new_source, gen_filename, "exec"), globalns)  # noqa: S102
+    compiled_fn = globalns[fn.__name__]
+
+    functools.update_wrapper(compiled_fn, fn)
+    compiled_fn.__omp_source__ = new_source
+    compiled_fn.__omp_original__ = fn
+    if debug:  # pragma: no cover - identical to the attribute above
+        compiled_fn.__omp_debug__ = True
+    return compiled_fn
+
+
+def compiled_source_of(fn: Callable[..., Any]) -> str:
+    """The generated source of an ``@omp``-compiled function."""
+    try:
+        return fn.__omp_source__  # type: ignore[attr-defined]
+    except AttributeError:
+        raise ValueError(f"{fn!r} was not compiled with @omp") from None

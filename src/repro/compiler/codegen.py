@@ -1,0 +1,218 @@
+"""AST-building helpers and scope analysis for the source-to-source compiler.
+
+The generated code calls into :mod:`repro.compiler.bridge` through the
+reserved name ``__repro_omp__`` (with the runtime instance bound to
+``__repro_omp_rt__``); these helpers build those call nodes and answer the
+binding questions the region-lifting transform needs (which names must be
+declared ``nonlocal``/``global``, which need a pre-initialisation).
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from typing import Iterable
+
+__all__ = [
+    "BRIDGE", "RUNTIME",
+    "NameGen", "bridge_call", "runtime_arg", "const", "name_load", "name_store",
+    "assign", "expr_stmt", "bound_names", "BindingCollector", "ControlFlowChecker",
+    "rename_variable",
+]
+
+BRIDGE = "__repro_omp__"
+RUNTIME = "__repro_omp_rt__"
+
+#: Python 3.12+ adds ``type_params`` to FunctionDef; constructing nodes
+#: without it breaks ast.unparse there.  Splat this into every FunctionDef.
+FUNCDEF_EXTRAS: dict = (
+    {"type_params": []} if "type_params" in ast.FunctionDef._fields else {}
+)
+
+
+class NameGen:
+    """Unique generated-name factory (``TargetRegion_<n>`` spirit)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = {}
+
+    def fresh(self, stem: str) -> str:
+        counter = self._counters.setdefault(stem, itertools.count())
+        return f"__omp_{stem}_{next(counter)}"
+
+
+def const(value) -> ast.Constant:
+    return ast.Constant(value=value)
+
+
+def name_load(name: str) -> ast.Name:
+    return ast.Name(id=name, ctx=ast.Load())
+
+
+def name_store(name: str) -> ast.Name:
+    return ast.Name(id=name, ctx=ast.Store())
+
+
+def bridge_call(func: str, args: list[ast.expr] | None = None,
+                keywords: dict[str, ast.expr] | None = None) -> ast.Call:
+    """``__repro_omp__.<func>(args..., kw=...)``."""
+    return ast.Call(
+        func=ast.Attribute(value=name_load(BRIDGE), attr=func, ctx=ast.Load()),
+        args=args or [],
+        keywords=[ast.keyword(arg=k, value=v) for k, v in (keywords or {}).items()],
+    )
+
+
+def runtime_arg() -> ast.expr:
+    return name_load(RUNTIME)
+
+
+def assign(target: str, value: ast.expr) -> ast.Assign:
+    return ast.Assign(targets=[name_store(target)], value=value)
+
+
+def expr_stmt(value: ast.expr) -> ast.Expr:
+    return ast.Expr(value=value)
+
+
+class BindingCollector(ast.NodeVisitor):
+    """Names bound by a statement list, at that scope level.
+
+    Does not descend into nested function/class scopes (their bindings are
+    their own), but does record the nested def/class *names* themselves.
+    Tracks ``global``/``nonlocal`` declarations separately so the transform
+    can mirror them.
+    """
+
+    def __init__(self) -> None:
+        self.bound: set[str] = set()
+        self.declared_global: set[str] = set()
+        self.declared_nonlocal: set[str] = set()
+
+    # -- scope fences ------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # own scope
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        pass  # comprehensions have their own scope in py3
+
+    visit_SetComp = visit_DictComp = visit_GeneratorExp = visit_ListComp
+
+    # -- binding constructs ------------------------------------------------
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.bound.add(node.id)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.declared_global.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.declared_nonlocal.update(node.names)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.bound.add((alias.asname or alias.name).split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            self.bound.add(alias.asname or alias.name)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.bound.add(node.name)
+        self.generic_visit(node)
+
+
+def bound_names(stmts: Iterable[ast.stmt]) -> set[str]:
+    """Names bound at the scope level of *stmts* (nested scopes excluded)."""
+    collector = BindingCollector()
+    for s in stmts:
+        collector.visit(s)
+    return collector.bound
+
+
+class ControlFlowChecker(ast.NodeVisitor):
+    """Detects control flow that cannot cross a lifted-region boundary.
+
+    ``return``/``yield`` at the region's own function level, and
+    ``break``/``continue`` that would target a loop *outside* the region,
+    make region lifting semantically invalid — exactly the "no branching out
+    of a structured block" rule of OpenMP.
+    """
+
+    def __init__(self) -> None:
+        self.loop_depth = 0
+        self.offenders: list[str] = []
+
+    def check(self, stmts: Iterable[ast.stmt]) -> list[str]:
+        for s in stmts:
+            self.visit(s)
+        return self.offenders
+
+    def visit_FunctionDef(self, node) -> None:  # nested scopes are fine
+        pass
+
+    visit_AsyncFunctionDef = visit_Lambda = visit_FunctionDef
+
+    def _visit_loop(self, node) -> None:
+        self.loop_depth += 1
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self.loop_depth -= 1
+
+    visit_For = visit_While = visit_AsyncFor = _visit_loop
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self.offenders.append("return")
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.offenders.append("yield")
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.offenders.append("yield from")
+
+    def visit_Await(self, node: ast.Await) -> None:
+        # A lifted region is a plain nested function; Python's `await`
+        # cannot cross that boundary (and the encounter semantics would be
+        # wrong anyway — use the asyncio adapter's as_future instead).
+        self.offenders.append("await")
+
+    def visit_Break(self, node: ast.Break) -> None:
+        if self.loop_depth == 0:
+            self.offenders.append("break")
+
+    def visit_Continue(self, node: ast.Continue) -> None:
+        if self.loop_depth == 0:
+            self.offenders.append("continue")
+
+
+class _Renamer(ast.NodeTransformer):
+    def __init__(self, old: str, new: str) -> None:
+        self.old = old
+        self.new = new
+
+    def visit_Name(self, node: ast.Name) -> ast.Name:
+        if node.id == self.old:
+            return ast.copy_location(ast.Name(id=self.new, ctx=node.ctx), node)
+        return node
+
+    def visit_FunctionDef(self, node):  # do not rename across scope fences
+        return node
+
+    visit_AsyncFunctionDef = visit_Lambda = visit_ClassDef = visit_FunctionDef
+
+
+def rename_variable(stmts: list[ast.stmt], old: str, new: str) -> list[ast.stmt]:
+    """Rename every ``Name`` occurrence of *old* to *new* within *stmts*
+    (shallow scope only; nested defs keep their own view)."""
+    renamer = _Renamer(old, new)
+    return [renamer.visit(s) for s in stmts]

@@ -1,0 +1,125 @@
+"""Tokenizer for ``#omp`` directive text.
+
+A directive comment looks like::
+
+    #omp target virtual(worker) nowait if(n > 10) firstprivate(a, b)
+
+The lexer splits the text after ``#omp`` into names, punctuation, operator
+symbols (reduction identifiers like ``+`` or ``&&``), and — because ``if`` and
+``num_threads`` carry arbitrary Python expressions — supports *balanced-paren
+raw capture* driven by the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import DirectiveSyntaxError
+
+__all__ = ["Token", "DirectiveLexer", "PRAGMA_PREFIX"]
+
+PRAGMA_PREFIX = "#omp"
+
+_PUNCT = {"(": "LPAREN", ")": "RPAREN", ",": "COMMA", ":": "COLON"}
+_OPERATORS = ("&&", "||", "+", "*", "&", "|", "^", "-")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # NAME | LPAREN | RPAREN | COMMA | COLON | OP | END
+    text: str
+    pos: int
+
+
+class DirectiveLexer:
+    """Tokenizes one directive's text (the part after ``#omp``)."""
+
+    def __init__(self, text: str, line: int | None = None) -> None:
+        self.text = text
+        self.line = line
+        self.pos = 0
+        self._peeked: Token | None = None
+
+    def error(self, message: str) -> DirectiveSyntaxError:
+        return DirectiveSyntaxError(f"{message} (in directive {self.text!r})", line=self.line)
+
+    # ------------------------------------------------------------- scanning
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def next(self) -> Token:
+        if self._peeked is not None:
+            tok, self._peeked = self._peeked, None
+            return tok
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            return Token("END", "", self.pos)
+        ch = self.text[self.pos]
+        start = self.pos
+        if ch in _PUNCT:
+            self.pos += 1
+            return Token(_PUNCT[ch], ch, start)
+        for op in _OPERATORS:
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                return Token("OP", op, start)
+        if ch.isalpha() or ch == "_":
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+            ):
+                self.pos += 1
+            return Token("NAME", self.text[start : self.pos], start)
+        if ch.isdigit():
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+            return Token("NAME", self.text[start : self.pos], start)
+        raise self.error(f"unexpected character {ch!r} at offset {start}")
+
+    def peek(self) -> Token:
+        if self._peeked is None:
+            self._peeked = self.next()
+        return self._peeked
+
+    # --------------------------------------------------------- parser hooks
+
+    def expect(self, kind: str, what: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise self.error(f"expected {what or kind}, found {tok.text or 'end of directive'!r}")
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def raw_parenthesized(self) -> str:
+        """Capture everything inside a balanced ``( ... )`` as raw text.
+
+        Used for clauses whose argument is a Python expression (``if``,
+        ``num_threads``).  The opening paren must be the next token.
+        """
+        self._peeked = None  # raw scan invalidates lookahead
+        self._skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] != "(":
+            raise self.error("expected '('")
+        depth = 0
+        start = self.pos + 1
+        i = self.pos
+        while i < len(self.text):
+            c = self.text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    self.pos = i + 1
+                    return self.text[start:i].strip()
+            i += 1
+        raise self.error("unbalanced parentheses")
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "END"

@@ -1,0 +1,447 @@
+"""Parser: directive text → directive objects.
+
+Grammar (paper Figure 5 for ``target``, classic OpenMP for the rest)::
+
+    directive := 'target' target-clause*
+               | 'parallel' [('for' for-clause*) | 'sections'] parallel-clause*
+               | 'for' for-clause*
+               | 'task' task-clause*
+               | 'taskwait'
+               | 'wait' '(' name ')'
+               | 'barrier'
+               | 'critical' ['(' name ')']
+               | 'single' ['nowait']
+               | 'master'
+               | 'ordered'
+               | 'flush' ['(' names ')']
+               | 'sections' ['nowait']
+               | 'section'
+
+    target-clause   := 'virtual' '(' name ')' | 'device' '(' int ')'
+                     | 'nowait' | 'await' | 'name_as' '(' name ')'
+                     | 'if' '(' expr ')' | data-clause
+    parallel-clause := 'num_threads' '(' expr ')' | 'if' '(' expr ')'
+                     | 'default' '(' ('shared'|'none') ')' | data-clause
+    for-clause      := 'schedule' '(' kind [',' int] ')'   # kind incl. runtime
+                     | 'reduction' '(' op ':' name ')' | 'nowait'
+                     | 'ordered' | 'collapse' '(' int ')'
+    task-clause     := 'if' '(' expr ')' | data-clause
+    data-clause     := ('shared'|'private'|'firstprivate') '(' names ')'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.directives import (
+    DataClause,
+    DataSharing,
+    SchedulingMode,
+    TargetDirective,
+    TargetProperty,
+)
+from ..core.errors import DirectiveSyntaxError
+from .directive_lexer import DirectiveLexer
+
+__all__ = [
+    "ParsedDirective",
+    "TargetDir",
+    "WaitDir",
+    "ParallelDir",
+    "ForDir",
+    "ParallelForDir",
+    "ParallelSectionsDir",
+    "TaskDir",
+    "TaskwaitDir",
+    "CriticalDir",
+    "BarrierDir",
+    "SingleDir",
+    "MasterDir",
+    "OrderedDir",
+    "FlushDir",
+    "SectionsDir",
+    "SectionDir",
+    "parse_directive",
+]
+
+
+@dataclass
+class ParsedDirective:
+    """Base: every parsed directive knows its source line."""
+
+    line: int = field(default=0, kw_only=True)
+
+    #: standalone directives are statements themselves; block directives
+    #: govern the immediately following statement.
+    standalone: bool = field(default=False, kw_only=True)
+
+
+@dataclass
+class TargetDir(ParsedDirective):
+    directive: TargetDirective
+
+
+@dataclass
+class WaitDir(ParsedDirective):
+    tag: str
+
+    def __post_init__(self) -> None:
+        self.standalone = True
+
+
+@dataclass
+class ParallelDir(ParsedDirective):
+    num_threads: str | None = None  # raw Python expression
+    if_condition: str | None = None
+    data_clauses: tuple[DataClause, ...] = ()
+    default_sharing: str | None = None  # 'shared' | 'none'
+
+
+@dataclass
+class ForDir(ParsedDirective):
+    schedule: str = "static"
+    chunk: int | None = None
+    reduction_op: str | None = None
+    reduction_var: str | None = None
+    nowait: bool = False
+    ordered: bool = False
+    collapse: int = 1
+
+
+@dataclass
+class ParallelForDir(ParsedDirective):
+    parallel: ParallelDir = field(default_factory=ParallelDir)
+    loop: ForDir = field(default_factory=ForDir)
+
+
+@dataclass
+class ParallelSectionsDir(ParsedDirective):
+    parallel: ParallelDir = field(default_factory=ParallelDir)
+
+
+@dataclass
+class TaskDir(ParsedDirective):
+    if_condition: str | None = None
+    data_clauses: tuple[DataClause, ...] = ()
+
+
+@dataclass
+class TaskwaitDir(ParsedDirective):
+    def __post_init__(self) -> None:
+        self.standalone = True
+
+
+@dataclass
+class CriticalDir(ParsedDirective):
+    name: str = ""
+
+
+@dataclass
+class BarrierDir(ParsedDirective):
+    def __post_init__(self) -> None:
+        self.standalone = True
+
+
+@dataclass
+class SingleDir(ParsedDirective):
+    nowait: bool = False
+
+
+@dataclass
+class MasterDir(ParsedDirective):
+    pass
+
+
+@dataclass
+class OrderedDir(ParsedDirective):
+    pass
+
+
+@dataclass
+class FlushDir(ParsedDirective):
+    def __post_init__(self) -> None:
+        self.standalone = True
+
+
+@dataclass
+class SectionsDir(ParsedDirective):
+    nowait: bool = False
+
+
+@dataclass
+class SectionDir(ParsedDirective):
+    pass
+
+
+_SCHEDULES = ("static", "dynamic", "guided", "runtime")
+_SHARING = {
+    "shared": DataSharing.SHARED,
+    "private": DataSharing.PRIVATE,
+    "firstprivate": DataSharing.FIRSTPRIVATE,
+}
+
+
+def parse_directive(text: str, line: int = 0) -> ParsedDirective:
+    """Parse the text following ``#omp`` into a directive object."""
+    lx = DirectiveLexer(text, line)
+    head = lx.expect("NAME", "a directive name")
+    name = head.text
+    if name == "target":
+        return _parse_target(lx, line)
+    if name == "parallel":
+        if lx.accept("NAME", "for"):
+            return _parse_parallel_for(lx, line)
+        if lx.accept("NAME", "sections"):
+            d = ParallelSectionsDir(line=line)
+            while not lx.at_end():
+                clause = lx.expect("NAME", "a clause").text
+                if not _parse_parallel_clauses(lx, d.parallel, clause):
+                    raise lx.error(f"unknown parallel sections clause {clause!r}")
+            return d
+        return _parse_parallel(lx, line)
+    if name == "task":
+        return _parse_task(lx, line)
+    if name == "taskwait":
+        _expect_end(lx)
+        return TaskwaitDir(line=line)
+    if name == "for":
+        return _parse_for(lx, line)
+    if name == "wait":
+        lx.expect("LPAREN")
+        tag = lx.expect("NAME", "a name-tag").text
+        lx.expect("RPAREN")
+        _expect_end(lx)
+        return WaitDir(tag, line=line)
+    if name == "barrier":
+        _expect_end(lx)
+        return BarrierDir(line=line)
+    if name == "critical":
+        cname = ""
+        if lx.accept("LPAREN"):
+            cname = lx.expect("NAME", "a critical name").text
+            lx.expect("RPAREN")
+        _expect_end(lx)
+        return CriticalDir(cname, line=line)
+    if name == "single":
+        nowait = bool(lx.accept("NAME", "nowait"))
+        _expect_end(lx)
+        return SingleDir(nowait=nowait, line=line)
+    if name == "master":
+        _expect_end(lx)
+        return MasterDir(line=line)
+    if name == "ordered":
+        _expect_end(lx)
+        return OrderedDir(line=line)
+    if name == "flush":
+        if lx.accept("LPAREN"):
+            lx.expect("NAME", "a variable name")
+            while lx.accept("COMMA"):
+                lx.expect("NAME", "a variable name")
+            lx.expect("RPAREN")
+        _expect_end(lx)
+        return FlushDir(line=line)
+    if name == "sections":
+        nowait = bool(lx.accept("NAME", "nowait"))
+        _expect_end(lx)
+        return SectionsDir(nowait=nowait, line=line)
+    if name == "section":
+        _expect_end(lx)
+        return SectionDir(line=line)
+    raise lx.error(f"unknown directive {name!r}")
+
+
+def _expect_end(lx: DirectiveLexer) -> None:
+    if not lx.at_end():
+        raise lx.error(f"unexpected trailing tokens starting at {lx.peek().text!r}")
+
+
+def _parse_name_list(lx: DirectiveLexer) -> tuple[str, ...]:
+    lx.expect("LPAREN")
+    names = [lx.expect("NAME", "a variable name").text]
+    while lx.accept("COMMA"):
+        names.append(lx.expect("NAME", "a variable name").text)
+    lx.expect("RPAREN")
+    return tuple(names)
+
+
+def _parse_target(lx: DirectiveLexer, line: int) -> TargetDir:
+    target_prop: TargetProperty | None = None
+    mode = SchedulingMode.DEFAULT
+    mode_set = False
+    tag: str | None = None
+    if_cond: str | None = None
+    data: list[DataClause] = []
+
+    while not lx.at_end():
+        tok = lx.expect("NAME", "a clause")
+        clause = tok.text
+        if clause == "virtual":
+            if target_prop is not None:
+                raise lx.error("duplicate target-property clause")
+            lx.expect("LPAREN")
+            target_prop = TargetProperty.virtual(lx.expect("NAME", "a target name").text)
+            lx.expect("RPAREN")
+        elif clause == "device":
+            if target_prop is not None:
+                raise lx.error("duplicate target-property clause")
+            lx.expect("LPAREN")
+            num = lx.expect("NAME", "a device number").text
+            if not num.isdigit():
+                raise lx.error(f"device number must be an integer, got {num!r}")
+            target_prop = TargetProperty.device(int(num))
+            lx.expect("RPAREN")
+        elif clause in ("nowait", "await"):
+            if mode_set:
+                raise lx.error("duplicate scheduling-property clause")
+            mode = SchedulingMode.NOWAIT if clause == "nowait" else SchedulingMode.AWAIT
+            mode_set = True
+        elif clause == "name_as":
+            if mode_set:
+                raise lx.error("duplicate scheduling-property clause")
+            lx.expect("LPAREN")
+            tag = lx.expect("NAME", "a name-tag").text
+            lx.expect("RPAREN")
+            mode = SchedulingMode.NAME_AS
+            mode_set = True
+        elif clause == "if":
+            if if_cond is not None:
+                raise lx.error("duplicate if clause")
+            if_cond = lx.raw_parenthesized()
+        elif clause in _SHARING:
+            data.append(DataClause(_SHARING[clause], _parse_name_list(lx)))
+        else:
+            raise lx.error(f"unknown target clause {clause!r}")
+
+    if target_prop is None:
+        raise DirectiveSyntaxError(
+            "target directive needs a virtual(...) or device(...) clause "
+            "(there is no default accelerator in this runtime)",
+            line=line,
+        )
+    return TargetDir(
+        TargetDirective(
+            target=target_prop,
+            mode=mode,
+            tag=tag,
+            if_condition=if_cond,
+            data_clauses=tuple(data),
+        ),
+        line=line,
+    )
+
+
+def _parse_task(lx: DirectiveLexer, line: int) -> TaskDir:
+    d = TaskDir(line=line)
+    while not lx.at_end():
+        clause = lx.expect("NAME", "a clause").text
+        if clause == "if":
+            if d.if_condition is not None:
+                raise lx.error("duplicate if clause")
+            d.if_condition = lx.raw_parenthesized()
+        elif clause in _SHARING:
+            d.data_clauses = d.data_clauses + (
+                DataClause(_SHARING[clause], _parse_name_list(lx)),
+            )
+        else:
+            raise lx.error(f"unknown task clause {clause!r}")
+    return d
+
+
+def _parse_parallel_clauses(lx: DirectiveLexer, d: ParallelDir, clause: str) -> bool:
+    if clause == "default":
+        if d.default_sharing is not None:
+            raise lx.error("duplicate default clause")
+        lx.expect("LPAREN")
+        kind = lx.expect("NAME", "'shared' or 'none'").text
+        if kind not in ("shared", "none"):
+            raise lx.error(f"default() accepts shared or none, got {kind!r}")
+        d.default_sharing = kind
+        lx.expect("RPAREN")
+        return True
+    if clause == "num_threads":
+        if d.num_threads is not None:
+            raise lx.error("duplicate num_threads clause")
+        d.num_threads = lx.raw_parenthesized()
+        return True
+    if clause == "if":
+        if d.if_condition is not None:
+            raise lx.error("duplicate if clause")
+        d.if_condition = lx.raw_parenthesized()
+        return True
+    if clause in _SHARING:
+        d.data_clauses = d.data_clauses + (DataClause(_SHARING[clause], _parse_name_list(lx)),)
+        return True
+    return False
+
+
+def _parse_for_clauses(lx: DirectiveLexer, d: ForDir, clause: str) -> bool:
+    if clause == "schedule":
+        lx.expect("LPAREN")
+        kind = lx.expect("NAME", "a schedule kind").text
+        if kind not in _SCHEDULES:
+            raise lx.error(f"unknown schedule {kind!r}")
+        d.schedule = kind
+        if lx.accept("COMMA"):
+            chunk = lx.expect("NAME", "a chunk size").text
+            if not chunk.isdigit() or int(chunk) < 1:
+                raise lx.error(f"chunk size must be a positive integer, got {chunk!r}")
+            d.chunk = int(chunk)
+        lx.expect("RPAREN")
+        return True
+    if clause == "reduction":
+        lx.expect("LPAREN")
+        op_tok = lx.next()
+        if op_tok.kind not in ("OP", "NAME"):
+            raise lx.error("expected a reduction operator")
+        d.reduction_op = op_tok.text
+        lx.expect("COLON")
+        d.reduction_var = lx.expect("NAME", "a reduction variable").text
+        lx.expect("RPAREN")
+        return True
+    if clause == "nowait":
+        d.nowait = True
+        return True
+    if clause == "ordered":
+        d.ordered = True
+        return True
+    if clause == "collapse":
+        lx.expect("LPAREN")
+        depth = lx.expect("NAME", "a nesting depth").text
+        if not depth.isdigit() or int(depth) < 1:
+            raise lx.error(f"collapse depth must be a positive integer, got {depth!r}")
+        d.collapse = int(depth)
+        lx.expect("RPAREN")
+        return True
+    return False
+
+
+def _parse_parallel(lx: DirectiveLexer, line: int) -> ParallelDir:
+    d = ParallelDir(line=line)
+    while not lx.at_end():
+        clause = lx.expect("NAME", "a clause").text
+        if not _parse_parallel_clauses(lx, d, clause):
+            raise lx.error(f"unknown parallel clause {clause!r}")
+    return d
+
+
+def _parse_for(lx: DirectiveLexer, line: int) -> ForDir:
+    d = ForDir(line=line)
+    while not lx.at_end():
+        clause = lx.expect("NAME", "a clause").text
+        if not _parse_for_clauses(lx, d, clause):
+            raise lx.error(f"unknown for clause {clause!r}")
+    return d
+
+
+def _parse_parallel_for(lx: DirectiveLexer, line: int) -> ParallelForDir:
+    d = ParallelForDir(line=line)
+    while not lx.at_end():
+        clause = lx.expect("NAME", "a clause").text
+        if _parse_parallel_clauses(lx, d.parallel, clause):
+            continue
+        if _parse_for_clauses(lx, d.loop, clause):
+            continue
+        raise lx.error(f"unknown parallel for clause {clause!r}")
+    if d.loop.nowait:
+        raise lx.error("nowait is not allowed on a combined parallel for")
+    return d

@@ -1,0 +1,82 @@
+"""Scanner: find ``#omp`` comment pragmas in Python source.
+
+Comments are invisible to :mod:`ast`, so the scanner runs :mod:`tokenize`
+over the source and records each pragma's position.  The transformer then
+matches each pragma to the statement that *immediately follows it at the same
+indentation* — the Python analogue of a pragma annotating the next statement.
+
+A pragma must occupy its own line (Pyjama's ``//#omp`` lines do too); trailing
+``#omp`` comments after code are rejected to avoid silent mis-association.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from dataclasses import dataclass
+
+from ..core.errors import DirectiveSyntaxError
+from .directive_lexer import PRAGMA_PREFIX
+from .directive_parser import ParsedDirective, parse_directive
+
+__all__ = ["PragmaComment", "scan_pragmas"]
+
+
+@dataclass
+class PragmaComment:
+    """One ``#omp`` comment with its location and parsed directive."""
+
+    line: int          # 1-based line of the comment
+    col: int           # 0-based column (indentation) of the comment
+    text: str          # directive text after '#omp'
+    directive: ParsedDirective
+    consumed: bool = False
+
+
+def scan_pragmas(source: str) -> list[PragmaComment]:
+    """All ``#omp`` pragmas in *source*, in line order.
+
+    Raises :class:`DirectiveSyntaxError` for malformed directives or pragmas
+    sharing a line with code.
+    """
+    pragmas: list[PragmaComment] = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    line_has_code: dict[int, bool] = {}
+    comment_tokens: list[tokenize.TokenInfo] = []
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comment_tokens.append(tok)
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            for ln in range(tok.start[0], tok.end[0] + 1):
+                line_has_code[ln] = True
+
+    for tok in comment_tokens:
+        comment = tok.string
+        if not _is_pragma(comment):
+            continue
+        line, col = tok.start
+        if line_has_code.get(line):
+            raise DirectiveSyntaxError(
+                "#omp pragma must be on its own line, not trailing code",
+                line=line,
+            )
+        text = comment[len(PRAGMA_PREFIX):].strip()
+        directive = parse_directive(text, line=line)
+        pragmas.append(PragmaComment(line=line, col=col, text=text, directive=directive))
+    pragmas.sort(key=lambda p: p.line)
+    return pragmas
+
+
+def _is_pragma(comment: str) -> bool:
+    if not comment.startswith(PRAGMA_PREFIX):
+        return False
+    rest = comment[len(PRAGMA_PREFIX):]
+    # '#omp' must be a whole word: '#ompx' is an ordinary comment.
+    return rest == "" or rest[0] in (" ", "\t")

@@ -1,0 +1,765 @@
+"""The region-lifting AST transformer.
+
+Mirrors Pyjama's compilation strategy (paper §IV-A): every pragma-annotated
+block is restructured into a generated function (our ``TargetRegion`` class
+analogue) and replaced by a runtime call.  Example::
+
+    #omp target virtual(worker) await
+    if True:
+        r = compute()
+
+becomes::
+
+    def __omp_region_0():
+        nonlocal r
+        r = compute()
+    __repro_omp__.run_on('worker', __omp_region_0, mode='await',
+                         tag=None, condition=True, runtime=__repro_omp_rt__)
+
+Binding rules: names assigned inside a lifted region are declared
+``nonlocal`` (or ``global`` at module level) so the region writes through to
+the enclosing data context — the paper's *data-context sharing* property.
+Names with no binding elsewhere in the enclosing function are pre-initialised
+to ``None`` right before the region so the ``nonlocal`` is valid.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..core.directives import DataSharing, SchedulingMode, TargetKind
+from ..core.errors import DirectiveSyntaxError
+from .codegen import (
+    FUNCDEF_EXTRAS,
+    BindingCollector,
+    ControlFlowChecker,
+    NameGen,
+    assign,
+    bound_names,
+    bridge_call,
+    const,
+    expr_stmt,
+    name_load,
+    name_store,
+    rename_variable,
+    runtime_arg,
+)
+from .directive_parser import (
+    BarrierDir,
+    CriticalDir,
+    FlushDir,
+    ForDir,
+    MasterDir,
+    OrderedDir,
+    ParallelDir,
+    ParallelForDir,
+    ParallelSectionsDir,
+    ParsedDirective,
+    SectionDir,
+    SectionsDir,
+    SingleDir,
+    TargetDir,
+    TaskDir,
+    TaskwaitDir,
+    WaitDir,
+)
+from .scanner import PragmaComment, scan_pragmas
+
+__all__ = ["transform_source", "OmpTransformer"]
+
+_SECTION_MARKER = "__omp_section__"
+
+
+@dataclass
+class _Scope:
+    """Binding context of the innermost function (or module) scope."""
+
+    kind: str  # 'module' | 'function' | 'class'
+    bound_so_far: set[str] = field(default_factory=set)
+    global_names: set[str] = field(default_factory=set)
+
+    def note(self, stmts: list[ast.stmt]) -> None:
+        self.bound_so_far |= bound_names(stmts)
+
+
+class OmpTransformer:
+    """One-shot transformer for a module's source text."""
+
+    def __init__(self, source: str, filename: str = "<omp>") -> None:
+        self.source = source
+        self.filename = filename
+        self.names = NameGen()
+        self.pragmas: list[PragmaComment] = scan_pragmas(source)
+
+    # -------------------------------------------------------------- driving
+
+    def transform_module(self) -> ast.Module:
+        tree = ast.parse(self.source, filename=self.filename)
+        self._associate(tree)
+        scope = _Scope(kind="module")
+        tree.body = self._process_body(tree.body, scope)
+        unclaimed = [p for p in self.pragmas if not p.consumed]
+        if unclaimed:
+            p = unclaimed[0]
+            raise DirectiveSyntaxError(
+                f"pragma '#omp {p.text}' is not followed by a statement at its "
+                "indentation level",
+                line=p.line,
+            )
+        self._check_no_stray_sections(tree)
+        ast.fix_missing_locations(tree)
+        return tree
+
+    def transformed_source(self) -> str:
+        return ast.unparse(self.transform_module())
+
+    # ----------------------------------------------------------- association
+
+    def _associate(self, tree: ast.Module) -> None:
+        """Attach each pragma to the statement it governs."""
+        stmts: list[ast.stmt] = [
+            node for node in ast.walk(tree) if isinstance(node, ast.stmt)
+        ]
+        stmts.sort(key=lambda s: (s.lineno, s.col_offset))
+        self._before: dict[int, list[ParsedDirective]] = {}
+        self._after: dict[int, list[ParsedDirective]] = {}
+
+        for pragma in self.pragmas:
+            following = next((s for s in stmts if s.lineno > pragma.line), None)
+            if following is not None and following.col_offset == pragma.col:
+                self._before.setdefault(id(following), []).append(pragma.directive)
+                pragma.consumed = True
+                continue
+            if pragma.directive.standalone:
+                # Trailing standalone: attach after the last statement at the
+                # pragma's indentation that precedes it.
+                candidates = [
+                    s
+                    for s in stmts
+                    if s.col_offset == pragma.col
+                    and (s.end_lineno or s.lineno) < pragma.line
+                ]
+                if candidates:
+                    anchor = max(candidates, key=lambda s: (s.end_lineno or s.lineno))
+                    self._after.setdefault(id(anchor), []).append(pragma.directive)
+                    pragma.consumed = True
+                    continue
+            raise DirectiveSyntaxError(
+                f"cannot associate pragma '#omp {pragma.text}' with a statement; "
+                "block pragmas must immediately precede a statement at the same "
+                "indentation",
+                line=pragma.line,
+            )
+
+    # -------------------------------------------------------------- recursion
+
+    def _process_body(self, stmts: list[ast.stmt], scope: _Scope) -> list[ast.stmt]:
+        out: list[ast.stmt] = []
+        for stmt in stmts:
+            directives = self._before.get(id(stmt), [])
+            for d in directives:
+                if d.standalone:
+                    standalone = self._make_standalone(d)
+                    out.append(standalone)
+                    scope.note([standalone])
+            block_dirs = [d for d in directives if not d.standalone]
+
+            # Children may contain their own pragmas; bindings they note are
+            # provisional — if this statement gets lifted, its internal
+            # bindings move into the region function and must not count as
+            # bound in the enclosing scope.
+            snapshot = set(scope.bound_so_far)
+            self._process_children(stmt, scope)
+            scope.bound_so_far = snapshot
+
+            block = [stmt]
+            for d in reversed(block_dirs):  # last pragma is innermost
+                block = self._apply(d, block, scope)
+            out.extend(block)
+            scope.note(block)
+
+            for d in self._after.get(id(stmt), []):
+                standalone = self._make_standalone(d)
+                out.append(standalone)
+                scope.note([standalone])
+        return out
+
+    def _process_children(self, stmt: ast.stmt, scope: _Scope) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = _Scope(kind="function", bound_so_far=_param_names(stmt))
+            inner.global_names = _collect_globals(stmt.body)
+            stmt.body = self._process_body(stmt.body, inner)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            inner = _Scope(kind="class")
+            stmt.body = self._process_body(stmt.body, inner)
+            return
+        for attr in ("body", "orelse", "finalbody"):
+            body = getattr(stmt, attr, None)
+            if body:
+                setattr(stmt, attr, self._process_body(body, scope))
+        for handler in getattr(stmt, "handlers", []) or []:
+            handler.body = self._process_body(handler.body, scope)
+
+    # ------------------------------------------------------------ dispatch
+
+    def _apply(
+        self, d: ParsedDirective, block: list[ast.stmt], scope: _Scope
+    ) -> list[ast.stmt]:
+        if scope.kind == "class":
+            raise DirectiveSyntaxError(
+                "pragmas directly inside a class body are not supported; put "
+                "them inside a method",
+                line=d.line,
+            )
+        if isinstance(d, TargetDir):
+            return self._apply_target(d, block, scope)
+        if isinstance(d, ParallelDir):
+            return self._apply_parallel(d, block, scope)
+        if isinstance(d, ForDir):
+            return self._apply_for(d, block, scope, in_combined=False)
+        if isinstance(d, ParallelForDir):
+            inner = self._apply_for(d.loop, block, scope, in_combined=True)
+            return self._apply_parallel(d.parallel, inner, scope)
+        if isinstance(d, ParallelSectionsDir):
+            inner = self._apply_sections(SectionsDir(line=d.line), block, scope)
+            return self._apply_parallel(d.parallel, inner, scope)
+        if isinstance(d, TaskDir):
+            return self._apply_task(d, block, scope)
+        if isinstance(d, CriticalDir):
+            return self._apply_critical(d, block)
+        if isinstance(d, SingleDir):
+            return self._lift_simple(d, block, scope, "single", {"nowait": const(d.nowait)})
+        if isinstance(d, MasterDir):
+            return self._lift_simple(d, block, scope, "master", {})
+        if isinstance(d, OrderedDir):
+            return self._lift_simple(d, block, scope, "ordered", {})
+        if isinstance(d, SectionsDir):
+            return self._apply_sections(d, block, scope)
+        if isinstance(d, SectionDir):
+            # Marker node; unwrapped by the enclosing sections directive.
+            marker = ast.If(test=const(_SECTION_MARKER), body=block, orelse=[])
+            return [marker]
+        raise DirectiveSyntaxError(f"unhandled directive {d!r}", line=d.line)
+
+    # -------------------------------------------------------------- helpers
+
+    def _make_standalone(self, d: ParsedDirective) -> ast.stmt:
+        if isinstance(d, BarrierDir):
+            return expr_stmt(bridge_call("barrier"))
+        if isinstance(d, TaskwaitDir):
+            return expr_stmt(bridge_call("taskwait"))
+        if isinstance(d, FlushDir):
+            return expr_stmt(bridge_call("flush"))
+        if isinstance(d, WaitDir):
+            return expr_stmt(
+                bridge_call("wait_for", [const(d.tag)], {"runtime": runtime_arg()})
+            )
+        raise DirectiveSyntaxError(f"unknown standalone directive {d!r}", line=d.line)
+
+    @staticmethod
+    def _unwrap_sugar(block: list[ast.stmt]) -> list[ast.stmt]:
+        """``if True:`` groups several statements into one region block."""
+        if (
+            len(block) == 1
+            and isinstance(block[0], ast.If)
+            and isinstance(block[0].test, ast.Constant)
+            and block[0].test.value is True
+            and not block[0].orelse
+        ):
+            return block[0].body
+        return block
+
+    def _check_liftable(self, body: list[ast.stmt], line: int, construct: str) -> None:
+        offenders = ControlFlowChecker().check(body)
+        if offenders:
+            raise DirectiveSyntaxError(
+                f"{construct} block contains {offenders[0]!r}, which would "
+                "branch out of the lifted region (OpenMP structured-block rule)",
+                line=line,
+            )
+
+    def _parse_expr(self, text: str, line: int) -> ast.expr:
+        try:
+            return ast.parse(text, mode="eval").body
+        except SyntaxError as exc:
+            raise DirectiveSyntaxError(
+                f"invalid expression {text!r} in clause: {exc.msg}", line=line
+            ) from exc
+
+    def _binding_decls(
+        self,
+        body: list[ast.stmt],
+        scope: _Scope,
+        *,
+        exclude: set[str] = frozenset(),
+    ) -> tuple[list[ast.stmt], list[ast.stmt]]:
+        """(declarations for the lifted function, pre-inits for the caller).
+
+        Implements data-context sharing: assigned names write through.
+        """
+        collector = BindingCollector()
+        for s in body:
+            collector.visit(s)
+        assigned = {
+            n
+            for n in collector.bound
+            if not n.startswith("__omp_")  # generated helpers stay region-local
+        } - exclude - collector.declared_global - collector.declared_nonlocal
+        if not assigned:
+            return [], []
+        if scope.kind == "module":
+            return [ast.Global(names=sorted(assigned))], []
+        global_ones = assigned & scope.global_names
+        local_ones = assigned - global_ones
+        decls: list[ast.stmt] = []
+        if global_ones:
+            decls.append(ast.Global(names=sorted(global_ones)))
+        pre_inits: list[ast.stmt] = []
+        if local_ones:
+            decls.append(ast.Nonlocal(names=sorted(local_ones)))
+            for n in sorted(local_ones - scope.bound_so_far):
+                pre_inits.append(assign(n, const(None)))
+        return decls, pre_inits
+
+    def _split_data_clauses(self, data_clauses) -> tuple[list[str], list[str]]:
+        firstprivate: list[str] = []
+        private: list[str] = []
+        for clause in data_clauses:
+            if clause.sharing is DataSharing.FIRSTPRIVATE:
+                firstprivate.extend(clause.variables)
+            elif clause.sharing is DataSharing.PRIVATE:
+                private.extend(clause.variables)
+            # SHARED is the default; nothing to do.
+        return firstprivate, private
+
+    def _region_funcdef(
+        self,
+        name: str,
+        body: list[ast.stmt],
+        decls: list[ast.stmt],
+        firstprivate: list[str],
+        private: list[str],
+    ) -> ast.FunctionDef:
+        args = ast.arguments(
+            posonlyargs=[],
+            args=[ast.arg(arg=n) for n in firstprivate],
+            vararg=None,
+            kwonlyargs=[],
+            kw_defaults=[],
+            kwarg=None,
+            defaults=[name_load(n) for n in firstprivate],
+        )
+        fn_body: list[ast.stmt] = list(decls)
+        fn_body.extend(assign(p, const(None)) for p in private)
+        fn_body.extend(body)
+        if not fn_body:
+            fn_body = [ast.Pass()]
+        return ast.FunctionDef(
+            name=name, args=args, body=fn_body, decorator_list=[], returns=None,
+            **FUNCDEF_EXTRAS,
+        )
+
+    # --------------------------------------------------------------- target
+
+    def _apply_target(
+        self, d: TargetDir, block: list[ast.stmt], scope: _Scope
+    ) -> list[ast.stmt]:
+        directive = d.directive
+        if directive.target.kind is TargetKind.DEVICE:
+            raise DirectiveSyntaxError(
+                "device(...) targets require a physical accelerator; this "
+                "runtime implements virtual targets only (paper §III-A)",
+                line=d.line,
+            )
+        body = self._unwrap_sugar(block)
+        self._check_liftable(body, d.line, "target")
+        firstprivate, private = self._split_data_clauses(directive.data_clauses)
+        decls, pre_inits = self._binding_decls(
+            body, scope, exclude=set(firstprivate) | set(private)
+        )
+        fname = self.names.fresh("region")
+        funcdef = self._region_funcdef(fname, body, decls, firstprivate, private)
+        condition: ast.expr = (
+            self._parse_expr(directive.if_condition, d.line)
+            if directive.if_condition
+            else const(True)
+        )
+        call = bridge_call(
+            "run_on",
+            [const(directive.target.name), name_load(fname)],
+            {
+                "mode": const(directive.mode.value),
+                "tag": const(directive.tag),
+                "condition": condition,
+                "runtime": runtime_arg(),
+            },
+        )
+        return [*pre_inits, funcdef, expr_stmt(call)]
+
+    # ----------------------------------------------------------------- task
+
+    def _apply_task(
+        self, d: TaskDir, block: list[ast.stmt], scope: _Scope
+    ) -> list[ast.stmt]:
+        body = self._unwrap_sugar(block)
+        self._check_liftable(body, d.line, "task")
+        firstprivate, private = self._split_data_clauses(d.data_clauses)
+        decls, pre_inits = self._binding_decls(
+            body, scope, exclude=set(firstprivate) | set(private)
+        )
+        fname = self.names.fresh("task")
+        funcdef = self._region_funcdef(fname, body, decls, firstprivate, private)
+        keywords: dict[str, ast.expr] = {}
+        if d.if_condition is not None:
+            keywords["if_clause"] = self._parse_expr(d.if_condition, d.line)
+        call = bridge_call("task", [name_load(fname)], keywords)
+        return [*pre_inits, funcdef, expr_stmt(call)]
+
+    # ------------------------------------------------------------- parallel
+
+    def _apply_parallel(
+        self, d: ParallelDir, block: list[ast.stmt], scope: _Scope
+    ) -> list[ast.stmt]:
+        body = self._unwrap_sugar(block)
+        self._check_liftable(body, d.line, "parallel")
+        firstprivate, private = self._split_data_clauses(d.data_clauses)
+        if d.default_sharing == "none":
+            self._check_default_none(d, body, firstprivate, private)
+        decls, pre_inits = self._binding_decls(
+            body, scope, exclude=set(firstprivate) | set(private)
+        )
+        fname = self.names.fresh("parallel")
+        funcdef = self._region_funcdef(fname, body, decls, firstprivate, private)
+        keywords: dict[str, ast.expr] = {}
+        if d.num_threads is not None:
+            keywords["num_threads"] = self._parse_expr(d.num_threads, d.line)
+        if d.if_condition is not None:
+            keywords["if_clause"] = self._parse_expr(d.if_condition, d.line)
+        call = bridge_call("parallel", [name_load(fname)], keywords)
+        return [*pre_inits, funcdef, expr_stmt(call)]
+
+    def _check_default_none(
+        self,
+        d: ParallelDir,
+        body: list[ast.stmt],
+        firstprivate: list[str],
+        private: list[str],
+    ) -> None:
+        """``default(none)``: every name the region *writes* must have an
+        explicit data-sharing clause.  (Reads cannot be checked soundly in
+        Python — builtins and module globals are indistinguishable from
+        shared locals — so enforcement covers bindings, the racy half.)"""
+        collector = BindingCollector()
+        for s in body:
+            collector.visit(s)
+        declared = set(firstprivate) | set(private) | {
+            v for c in d.data_clauses for v in c.variables
+        }
+        undeclared = {
+            n for n in collector.bound if not n.startswith("__omp_")
+        } - declared - collector.declared_global - collector.declared_nonlocal
+        if undeclared:
+            raise DirectiveSyntaxError(
+                f"default(none) requires explicit data-sharing for assigned "
+                f"name(s): {', '.join(sorted(undeclared))}",
+                line=d.line,
+            )
+
+    # ------------------------------------------------------------------ for
+
+    def _apply_for(
+        self, d: ForDir, block: list[ast.stmt], scope: _Scope, *, in_combined: bool
+    ) -> list[ast.stmt]:
+        if len(block) != 1 or not isinstance(block[0], ast.For):
+            raise DirectiveSyntaxError(
+                "'#omp for' (or 'parallel for') must annotate a for loop",
+                line=d.line,
+            )
+        loop = block[0]
+        if d.collapse > 1:
+            loop = self._collapse_nest(loop, d.collapse, d.line)
+        offenders = [o for o in ControlFlowChecker().check(loop.body) if o != "continue"]
+        if offenders:
+            raise DirectiveSyntaxError(
+                f"worksharing loop body contains {offenders[0]!r}; OpenMP forbids "
+                "branching out of the loop",
+                line=d.line,
+            )
+
+        body = list(loop.body)
+        red_local: str | None = None
+        if d.reduction_op is not None:
+            red_local = self.names.fresh("red")
+            body = rename_variable(body, d.reduction_var, red_local)
+        body = _RewriteContinues(red_local).rewrite(body)
+
+        # Loop variable handling: simple name becomes the body parameter;
+        # anything else unpacks from a fresh parameter.
+        if isinstance(loop.target, ast.Name):
+            param = loop.target.id
+            unpack: list[ast.stmt] = []
+        else:
+            param = self.names.fresh("item")
+            unpack = [ast.Assign(targets=[loop.target], value=name_load(param))]
+
+        exclude = {param} | _target_names(loop.target)
+        if red_local:
+            exclude.add(red_local)
+        decls, pre_inits = self._binding_decls(body, scope, exclude=exclude)
+
+        fn_body: list[ast.stmt] = list(decls) + unpack
+        if red_local:
+            fn_body.append(
+                assign(red_local, bridge_call("identity_for", [const(d.reduction_op)]))
+            )
+        fn_body.extend(body)
+        if red_local:
+            fn_body.append(ast.Return(value=name_load(red_local)))
+
+        fname = self.names.fresh("loop_body")
+        args = ast.arguments(
+            posonlyargs=[], args=[ast.arg(arg=param)], vararg=None,
+            kwonlyargs=[], kw_defaults=[], kwarg=None, defaults=[],
+        )
+        funcdef = ast.FunctionDef(
+            name=fname, args=args, body=fn_body or [ast.Pass()],
+            decorator_list=[], returns=None, **FUNCDEF_EXTRAS,
+        )
+
+        keywords: dict[str, ast.expr] = {
+            "schedule": const(d.schedule),
+            "chunk": const(d.chunk),
+            "nowait": const(d.nowait),
+        }
+        if d.ordered:
+            keywords["ordered"] = const(True)
+        if d.reduction_op is not None:
+            keywords["reduction"] = const(d.reduction_op)
+        call = bridge_call("for_loop", [loop.iter, name_load(fname)], keywords)
+
+        out: list[ast.stmt] = [*pre_inits, funcdef]
+        if d.reduction_op is None:
+            out.append(expr_stmt(call))
+        else:
+            result = self.names.fresh("for_result")
+            out.append(assign(result, call))
+            fold = ast.Assign(
+                targets=[name_store(d.reduction_var)],
+                value=ast.Call(
+                    func=ast.Subscript(
+                        value=ast.Attribute(
+                            value=name_load("__repro_omp__"), attr="REDUCTIONS",
+                            ctx=ast.Load(),
+                        ),
+                        slice=const(d.reduction_op),
+                        ctx=ast.Load(),
+                    ),
+                    args=[name_load(d.reduction_var), name_load(result)],
+                    keywords=[],
+                ),
+            )
+            # Only one team member folds into the shared variable; the
+            # barrier publishes it before anyone reads past the construct.
+            guard = ast.If(
+                test=ast.Compare(
+                    left=bridge_call("omp_get_thread_num"),
+                    ops=[ast.Eq()],
+                    comparators=[const(0)],
+                ),
+                body=[fold],
+                orelse=[],
+            )
+            out.append(guard)
+            out.append(expr_stmt(bridge_call("barrier")))
+        out.extend(loop.orelse)  # break is forbidden, so else always ran
+        return out
+
+    def _collapse_nest(self, loop: ast.For, depth: int, line: int) -> ast.For:
+        """Flatten a perfectly nested ``depth``-deep loop nest into one loop
+        over the cross product of the iteration spaces (``collapse(n)``).
+
+        OpenMP's rules apply: the nest must be perfect (each outer body is
+        exactly the next loop) and inner bounds must not depend on outer
+        loop variables (rectangular iteration space).
+        """
+        targets: list[ast.expr] = []
+        iters: list[ast.expr] = []
+        outer_names: set[str] = set()
+        current: ast.For = loop
+        for level in range(depth):
+            if current.orelse:
+                raise DirectiveSyntaxError(
+                    "collapse: loops in the nest cannot have else clauses",
+                    line=line,
+                )
+            used = {
+                n.id
+                for n in ast.walk(current.iter)
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+            }
+            if used & outer_names:
+                raise DirectiveSyntaxError(
+                    "collapse: inner loop bounds must not depend on outer "
+                    f"loop variables ({', '.join(sorted(used & outer_names))})",
+                    line=line,
+                )
+            targets.append(current.target)
+            iters.append(current.iter)
+            outer_names |= _target_names(current.target)
+            if level == depth - 1:
+                body = current.body
+            else:
+                if len(current.body) != 1 or not isinstance(current.body[0], ast.For):
+                    raise DirectiveSyntaxError(
+                        f"collapse({depth}) needs a perfectly nested loop "
+                        f"nest; level {level + 1} has extra statements",
+                        line=line,
+                    )
+                current = current.body[0]
+        flattened_target = ast.Tuple(elts=targets, ctx=ast.Store())
+        flattened_iter = bridge_call("collapse_product", iters)
+        return ast.For(
+            target=flattened_target, iter=flattened_iter, body=body, orelse=[]
+        )
+
+    # ------------------------------------------------------ small constructs
+
+    def _apply_critical(self, d: CriticalDir, block: list[ast.stmt]) -> list[ast.stmt]:
+        body = self._unwrap_sugar(block)
+        with_stmt = ast.With(
+            items=[
+                ast.withitem(
+                    context_expr=bridge_call("critical", [const(d.name)]),
+                    optional_vars=None,
+                )
+            ],
+            body=body,
+        )
+        return [with_stmt]
+
+    def _lift_simple(
+        self,
+        d: ParsedDirective,
+        block: list[ast.stmt],
+        scope: _Scope,
+        func: str,
+        keywords: dict[str, ast.expr],
+    ) -> list[ast.stmt]:
+        body = self._unwrap_sugar(block)
+        self._check_liftable(body, d.line, func)
+        decls, pre_inits = self._binding_decls(body, scope)
+        fname = self.names.fresh(func)
+        funcdef = self._region_funcdef(fname, body, decls, [], [])
+        call = bridge_call(func, [name_load(fname)], keywords)
+        return [*pre_inits, funcdef, expr_stmt(call)]
+
+    # -------------------------------------------------------------- sections
+
+    def _apply_sections(
+        self, d: SectionsDir, block: list[ast.stmt], scope: _Scope
+    ) -> list[ast.stmt]:
+        body = self._unwrap_sugar(block)
+        groups: list[list[ast.stmt]] = [[]]
+        for stmt in body:
+            if _is_section_marker(stmt):
+                if groups[-1] or len(groups) > 1:
+                    groups.append([])
+                groups[-1].extend(stmt.body)  # type: ignore[attr-defined]
+            else:
+                groups[-1].append(stmt)
+        groups = [g for g in groups if g]
+        if not groups:
+            raise DirectiveSyntaxError("empty sections construct", line=d.line)
+
+        pre_all: list[ast.stmt] = []
+        funcdefs: list[ast.stmt] = []
+        names: list[str] = []
+        for g in groups:
+            self._check_liftable(g, d.line, "section")
+            decls, pre_inits = self._binding_decls(g, scope)
+            fname = self.names.fresh("section")
+            funcdefs.append(self._region_funcdef(fname, g, decls, [], []))
+            pre_all.extend(pre_inits)
+            names.append(fname)
+            scope.note(pre_inits)  # later sections see earlier pre-inits
+        call = bridge_call(
+            "sections",
+            [ast.List(elts=[name_load(n) for n in names], ctx=ast.Load())],
+            {"nowait": const(d.nowait)},
+        )
+        return [*pre_all, *funcdefs, expr_stmt(call)]
+
+    def _check_no_stray_sections(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.If) and _is_marker_test(node.test):
+                raise DirectiveSyntaxError(
+                    "'#omp section' used outside an '#omp sections' block"
+                )
+
+
+def _is_section_marker(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, ast.If) and _is_marker_test(stmt.test)
+
+
+def _is_marker_test(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and test.value == _SECTION_MARKER
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    a = fn.args
+    names = {p.arg for p in a.posonlyargs + a.args + a.kwonlyargs}
+    if a.vararg:
+        names.add(a.vararg.arg)
+    if a.kwarg:
+        names.add(a.kwarg.arg)
+    return names
+
+
+def _collect_globals(stmts: list[ast.stmt]) -> set[str]:
+    collector = BindingCollector()
+    for s in stmts:
+        collector.visit(s)
+    return collector.declared_global
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    return {n.id for n in ast.walk(target) if isinstance(n, ast.Name)}
+
+
+class _RewriteContinues(ast.NodeTransformer):
+    """Top-level ``continue`` in a worksharing loop body becomes ``return``
+    (returning the reduction accumulator when there is one)."""
+
+    def __init__(self, red_local: str | None) -> None:
+        self.red_local = red_local
+        self.loop_depth = 0
+
+    def rewrite(self, body: list[ast.stmt]) -> list[ast.stmt]:
+        return [self.visit(s) for s in body]
+
+    def visit_FunctionDef(self, node):
+        return node
+
+    visit_AsyncFunctionDef = visit_Lambda = visit_FunctionDef
+
+    def _visit_loop(self, node):
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+        return node
+
+    visit_For = visit_While = _visit_loop
+
+    def visit_Continue(self, node: ast.Continue):
+        if self.loop_depth:
+            return node
+        value = name_load(self.red_local) if self.red_local else None
+        return ast.copy_location(ast.Return(value=value), node)
+
+
+def transform_source(source: str, filename: str = "<omp>") -> str:
+    """Compile ``#omp`` pragmas in *source* to runtime calls; returns the new
+    source text."""
+    return OmpTransformer(source, filename).transformed_source()

@@ -1,0 +1,151 @@
+"""Semantic model of the extended ``target`` directive (paper Figure 5).
+
+The grammar proposed by the paper is::
+
+    #pragma omp target [clause[,] clause ...]  structured-block
+
+    clause:
+        target-property-clause      device(device-number) | virtual(name-tag)
+        scheduling-property-clause  nowait | name_as(name-tag) | await
+        data-handling-clause
+        if-clause
+
+This module holds the *semantic* objects shared by the runtime and the
+source-to-source compiler.  Parsing text into these objects lives in
+:mod:`repro.compiler.directive_parser`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import DirectiveSyntaxError
+
+__all__ = [
+    "SchedulingMode",
+    "TargetKind",
+    "TargetProperty",
+    "DataSharing",
+    "DataClause",
+    "TargetDirective",
+]
+
+
+class SchedulingMode(enum.Enum):
+    """Asynchronous execution modes of a target block (paper Table I).
+
+    * ``DEFAULT`` — the encountering thread waits for the block to finish
+      (standard OpenMP ``target`` behaviour).
+    * ``NOWAIT`` — fire-and-forget; no completion notification.
+    * ``NAME_AS`` — fire-and-remember; the block joins a named task group that
+      a later ``wait(tag)`` clause joins.
+    * ``AWAIT`` — logical barrier; the encountering thread keeps processing
+      other events/tasks from its own loop until the block finishes, then
+      continues with the statements following the block.
+    """
+
+    DEFAULT = "default"
+    NOWAIT = "nowait"
+    NAME_AS = "name_as"
+    AWAIT = "await"
+
+    @property
+    def is_fire_and_forget(self) -> bool:
+        """True for modes where the encountering thread does not synchronize
+        at the directive itself (Algorithm 1 lines 10-12)."""
+        return self in (SchedulingMode.NOWAIT, SchedulingMode.NAME_AS)
+
+
+class TargetKind(enum.Enum):
+    """Whether the directive targets a physical device or a virtual executor."""
+
+    DEVICE = "device"
+    VIRTUAL = "virtual"
+
+
+@dataclass(frozen=True)
+class TargetProperty:
+    """The target-property-clause: ``device(n)`` or ``virtual(name)``."""
+
+    kind: TargetKind
+    name: str | None = None       # virtual target name-tag
+    device_number: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is TargetKind.VIRTUAL and not self.name:
+            raise DirectiveSyntaxError("virtual() clause requires a name-tag")
+        if self.kind is TargetKind.DEVICE and self.device_number is None:
+            raise DirectiveSyntaxError("device() clause requires a device number")
+
+    @classmethod
+    def virtual(cls, name: str) -> "TargetProperty":
+        return cls(kind=TargetKind.VIRTUAL, name=name)
+
+    @classmethod
+    def device(cls, number: int) -> "TargetProperty":
+        return cls(kind=TargetKind.DEVICE, device_number=number)
+
+    def __str__(self) -> str:
+        if self.kind is TargetKind.VIRTUAL:
+            return f"virtual({self.name})"
+        return f"device({self.device_number})"
+
+
+class DataSharing(enum.Enum):
+    """Data-handling attributes.
+
+    A virtual target shares the host memory (paper §III-B, *data-context
+    sharing*), so SHARED is the natural default; FIRSTPRIVATE is supported to
+    snapshot values at directive-encounter time, matching OpenMP semantics for
+    captured scalars.
+    """
+
+    SHARED = "shared"
+    FIRSTPRIVATE = "firstprivate"
+    PRIVATE = "private"
+
+
+@dataclass(frozen=True)
+class DataClause:
+    sharing: DataSharing
+    variables: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.sharing.value}({', '.join(self.variables)})"
+
+
+@dataclass(frozen=True)
+class TargetDirective:
+    """A fully-resolved extended ``target`` directive."""
+
+    target: TargetProperty
+    mode: SchedulingMode = SchedulingMode.DEFAULT
+    tag: str | None = None                     # name_as(name-tag)
+    if_condition: str | None = None            # textual condition (compiler use)
+    data_clauses: tuple[DataClause, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.mode is SchedulingMode.NAME_AS and not self.tag:
+            raise DirectiveSyntaxError("name_as mode requires a name-tag")
+        if self.mode is not SchedulingMode.NAME_AS and self.tag is not None:
+            raise DirectiveSyntaxError(
+                f"tag {self.tag!r} is only valid with the name_as clause"
+            )
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.target.kind is TargetKind.VIRTUAL
+
+    def __str__(self) -> str:
+        parts = [f"target {self.target}"]
+        if self.mode is SchedulingMode.NOWAIT:
+            parts.append("nowait")
+        elif self.mode is SchedulingMode.NAME_AS:
+            parts.append(f"name_as({self.tag})")
+        elif self.mode is SchedulingMode.AWAIT:
+            parts.append("await")
+        if self.if_condition is not None:
+            parts.append(f"if({self.if_condition})")
+        parts.extend(str(c) for c in self.data_clauses)
+        return " ".join(parts)

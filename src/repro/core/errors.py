@@ -1,0 +1,82 @@
+"""Exception hierarchy for the Pyjama-style virtual-target runtime.
+
+The paper's runtime (Section IV-B) is mostly silent about failure modes; we
+make them explicit so that library users get actionable errors instead of
+deadlocks or silent drops.
+"""
+
+from __future__ import annotations
+
+
+class PyjamaError(Exception):
+    """Base class for all errors raised by :mod:`repro.core`."""
+
+
+class DirectiveSyntaxError(PyjamaError):
+    """An ``#omp`` directive could not be parsed.
+
+    Carries optional source position information so the source-to-source
+    compiler can point at the offending pragma.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class UnknownTargetError(PyjamaError):
+    """A directive referenced a virtual target name that was never registered."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(
+            f"unknown virtual target {name!r}; register it first with "
+            "virtual_target_create_worker() or virtual_target_register_edt()"
+        )
+
+
+class TargetExistsError(PyjamaError):
+    """A virtual target name was registered twice."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"virtual target {name!r} is already registered")
+
+
+class TargetShutdownError(PyjamaError):
+    """A region was posted to a virtual target that has been shut down."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"virtual target {name!r} has been shut down")
+
+
+class RuntimeStateError(PyjamaError):
+    """The runtime was used in a way that violates its lifecycle.
+
+    Examples: waiting with ``await`` from a thread that belongs to no virtual
+    target while strict mode is enabled, or pumping an EDT from a foreign
+    thread.
+    """
+
+
+class RegionFailedError(PyjamaError):
+    """Waiting on a target region whose body raised.
+
+    The original exception is available as ``__cause__`` (and ``.cause``),
+    mirroring how ``concurrent.futures`` re-raises on ``result()``.
+    """
+
+    def __init__(self, region_name: str, cause: BaseException):
+        self.region_name = region_name
+        self.cause = cause
+        super().__init__(f"target region {region_name!r} raised {cause!r}")
+        self.__cause__ = cause
+
+
+class TagError(PyjamaError):
+    """Invalid use of a ``name_as``/``wait`` tag (e.g. waiting on an unknown tag
+    in strict mode)."""

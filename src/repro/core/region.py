@@ -1,0 +1,173 @@
+"""Target regions: the liftable unit of work.
+
+The Pyjama compiler restructures every target block into a runnable
+``TargetRegion`` class (paper §IV-A).  Our :class:`TargetRegion` is the
+runtime counterpart: a one-shot callable with completion state, a result/
+exception slot, and completion callbacks (used by the ``await`` logical
+barrier and by the ``name_as`` tag registry).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import Any, Callable
+
+from .errors import RegionFailedError
+
+__all__ = ["RegionState", "TargetRegion"]
+
+_region_counter = itertools.count()
+
+
+class RegionState(enum.Enum):
+    """Lifecycle of a target region (pending -> running -> terminal)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (RegionState.COMPLETED, RegionState.FAILED, RegionState.CANCELLED)
+
+
+class TargetRegion:
+    """A one-shot unit of work lifted from a target block.
+
+    Parameters
+    ----------
+    body:
+        The callable holding the user code of the block.  Called with the
+        positional/keyword arguments given at construction (the compiler
+        passes captured firstprivate values this way; shared state is simply
+        closed over, since virtual targets share host memory).
+    name:
+        Debug name.  The compiler generates ``TargetRegion_<n>`` names
+        mirroring Pyjama's generated classes.
+    """
+
+    __slots__ = (
+        "body", "args", "kwargs", "name", "_state", "_result", "_exception",
+        "_done", "_lock", "_callbacks",
+    )
+
+    def __init__(
+        self,
+        body: Callable[..., Any],
+        *args: Any,
+        name: str | None = None,
+        **kwargs: Any,
+    ) -> None:
+        self.body = body
+        self.args = args
+        self.kwargs = kwargs
+        self.name = name or f"TargetRegion_{next(_region_counter)}"
+        self._state = RegionState.PENDING
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable[["TargetRegion"], None]] = []
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def state(self) -> RegionState:
+        return self._state
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    def cancel(self) -> bool:
+        """Cancel the region if it has not started running.
+
+        Returns True if the region transitioned to CANCELLED.  A running or
+        finished region cannot be cancelled (matching ``Future.cancel``).
+        """
+        with self._lock:
+            if self._state is not RegionState.PENDING:
+                return False
+            self._state = RegionState.CANCELLED
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+        self._done.set()
+        for cb in callbacks:
+            cb(self)
+        return True
+
+    # -------------------------------------------------------------- execution
+
+    def run(self) -> None:
+        """Execute the body exactly once; record result or exception.
+
+        Safe to call from any thread; a second call (or a call after
+        cancellation) is a no-op so that racy dispatch cannot double-run user
+        code.
+        """
+        with self._lock:
+            if self._state is not RegionState.PENDING:
+                return
+            self._state = RegionState.RUNNING
+        try:
+            result = self.body(*self.args, **self.kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must capture to re-raise at wait()
+            with self._lock:
+                self._exception = exc
+                self._state = RegionState.FAILED
+                callbacks = list(self._callbacks)
+                self._callbacks.clear()
+        else:
+            with self._lock:
+                self._result = result
+                self._state = RegionState.COMPLETED
+                callbacks = list(self._callbacks)
+                self._callbacks.clear()
+        self._done.set()
+        for cb in callbacks:
+            cb(self)
+
+    # ----------------------------------------------------------- completion
+
+    def add_done_callback(self, cb: Callable[["TargetRegion"], None]) -> None:
+        """Register *cb* to run when the region reaches a terminal state.
+
+        If the region is already terminal the callback runs immediately in
+        the calling thread (same contract as ``Future.add_done_callback``).
+        """
+        with self._lock:
+            if not self._state.is_terminal:
+                self._callbacks.append(cb)
+                return
+        cb(self)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until terminal; returns False on timeout."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block until terminal and return the body's return value.
+
+        Raises :class:`RegionFailedError` (chaining the original exception)
+        if the body raised, ``TimeoutError`` on timeout, and
+        :class:`RegionFailedError` wrapping ``CancelledError``-like state if
+        cancelled.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"timed out waiting for {self.name}")
+        if self._state is RegionState.CANCELLED:
+            raise RegionFailedError(self.name, RuntimeError("region was cancelled"))
+        if self._exception is not None:
+            raise RegionFailedError(self.name, self._exception)
+        return self._result
+
+    def __repr__(self) -> str:
+        return f"<TargetRegion {self.name} {self._state.value}>"

@@ -1,0 +1,302 @@
+"""The Pyjama-style runtime: virtual-target registry and Algorithm 1.
+
+``PjRuntime.invoke_target_block`` is a line-for-line transcription of the
+paper's Algorithm 1 ("Target block code execution"):
+
+.. code-block:: text
+
+    procedure invokeTargetBlock(T, E, B, a)
+        if T in E then  B.exec()          # synchronous, context-aware inline
+        else            E.post(B)         # asynchronous post
+        if a is nowait or name_as then return
+        if a is await then
+            while B is not finished do    # logical barrier
+                T.processAnotherEventHandler()
+        else T.wait()                     # default option
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .directives import SchedulingMode, TargetDirective, TargetKind
+from .errors import (
+    RuntimeStateError,
+    TargetExistsError,
+    UnknownTargetError,
+)
+from .region import TargetRegion
+from .targets import EdtTarget, VirtualTarget, WorkerTarget, current_target
+from .tags import TagRegistry
+
+__all__ = ["PjRuntime", "default_runtime", "set_default_runtime", "reset_default_runtime"]
+
+
+class PjRuntime:
+    """A self-contained runtime instance.
+
+    Most applications use the process-wide :func:`default_runtime`, mirroring
+    Pyjama's static ``PjRuntime``; tests create private instances for
+    isolation.
+
+    Internal control variables (ICVs), in the spirit of OpenMP's
+    ``default-device-var``:
+
+    * ``default_target_var`` — the virtual target used when a directive omits
+      the target-property clause.
+    * ``await_poll_var`` — the poll interval (seconds) of the logical barrier.
+    * ``strict_await_var`` — if True, ``await`` from a thread that belongs to
+      no virtual target raises instead of degrading to a blocking wait.
+    """
+
+    def __init__(self) -> None:
+        self._targets: dict[str, VirtualTarget] = {}
+        self._lock = threading.Lock()
+        self.tags = TagRegistry()
+        # ICVs
+        self.default_target_var: str | None = None
+        self.await_poll_var: float = 0.05
+        self.strict_await_var: bool = False
+        # Observability: dispatch counters (inline = Algorithm 1 line 7,
+        # posted = line 8; per-mode tallies for the scheduling clauses).
+        self._counters_lock = threading.Lock()
+        self.counters: dict[str, int] = {
+            "inline": 0,
+            "posted": 0,
+            "default": 0,
+            "nowait": 0,
+            "name_as": 0,
+            "await": 0,
+        }
+
+    def _count(self, *keys: str) -> None:
+        with self._counters_lock:
+            for k in keys:
+                self.counters[k] += 1
+
+    def reset_counters(self) -> None:
+        with self._counters_lock:
+            for k in self.counters:
+                self.counters[k] = 0
+
+    # -------------------------------------------------------------- registry
+
+    def register_target(self, target: VirtualTarget) -> VirtualTarget:
+        with self._lock:
+            if target.name in self._targets:
+                raise TargetExistsError(target.name)
+            self._targets[target.name] = target
+            if self.default_target_var is None:
+                self.default_target_var = target.name
+        return target
+
+    def create_worker(self, name: str, max_threads: int) -> WorkerTarget:
+        """``virtual_target_create_worker`` (paper Table II)."""
+        target = WorkerTarget(name, max_threads)
+        try:
+            self.register_target(target)
+        except TargetExistsError:
+            target.shutdown(wait=False)
+            raise
+        return target
+
+    def register_edt(self, name: str) -> EdtTarget:
+        """``virtual_target_register_edt`` (paper Table II): the calling
+        thread becomes the EDT of a new target named *name*."""
+        target = EdtTarget(name)
+        self.register_target(target)
+        target.register_current_thread()
+        return target
+
+    def start_edt(self, name: str) -> EdtTarget:
+        """Spawn a dedicated EDT thread (headless convenience)."""
+        target = EdtTarget(name)
+        self.register_target(target)
+        target.start_in_thread()
+        return target
+
+    def get_target(self, name: str) -> VirtualTarget:
+        with self._lock:
+            try:
+                return self._targets[name]
+            except KeyError:
+                raise UnknownTargetError(name) from None
+
+    def has_target(self, name: str) -> bool:
+        with self._lock:
+            return name in self._targets
+
+    def target_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._targets)
+
+    def unregister_target(self, name: str, *, shutdown: bool = True) -> None:
+        with self._lock:
+            target = self._targets.pop(name, None)
+            if self.default_target_var == name:
+                self.default_target_var = next(iter(self._targets), None)
+        if target is not None and shutdown:
+            target.shutdown(wait=False)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut down every registered target and clear the registry."""
+        with self._lock:
+            targets = list(self._targets.values())
+            self._targets.clear()
+            self.default_target_var = None
+        for t in targets:
+            t.shutdown(wait=wait)
+        self.tags.clear()
+
+    # ------------------------------------------------------------ Algorithm 1
+
+    def invoke_target_block(
+        self,
+        target_name: str | None,
+        region: TargetRegion | Callable[[], Any],
+        mode: SchedulingMode | str = SchedulingMode.DEFAULT,
+        *,
+        tag: str | None = None,
+    ) -> TargetRegion:
+        """Dispatch a target block per Algorithm 1 and the scheduling clause.
+
+        Returns the region (usable as a handle: ``.wait()``, ``.result()``).
+        For ``DEFAULT`` and ``AWAIT`` the call returns only after the block
+        finished, re-raising any exception from the block's body.
+        """
+        if isinstance(mode, str):
+            mode = SchedulingMode(mode)
+        if not isinstance(region, TargetRegion):
+            region = TargetRegion(region)
+        if mode is SchedulingMode.NAME_AS:
+            if tag is None:
+                raise RuntimeStateError("name_as scheduling requires a tag")
+            self.tags.register(tag, region)
+
+        name = target_name if target_name is not None else self.default_target_var
+        if name is None:
+            raise UnknownTargetError("<default>")
+        executor = self.get_target(name)
+
+        if executor.contains():
+            # Line 6-7: already in the target's context -> run synchronously.
+            self._count("inline", mode.value)
+            region.run()
+            if mode in (SchedulingMode.DEFAULT, SchedulingMode.AWAIT):
+                region.result()  # re-raise body exception for waiting modes
+            return region
+
+        self._count("posted", mode.value)
+        executor.post(region)  # line 8
+
+        if mode.is_fire_and_forget:  # lines 10-12
+            return region
+
+        if mode is SchedulingMode.AWAIT:  # lines 13-16
+            self._logical_barrier(region)
+        else:  # line 17, default: T.wait()
+            region.wait()
+        region.result()  # surface exceptions exactly like inline execution
+        return region
+
+    def _logical_barrier(self, region: TargetRegion) -> None:
+        """Keep the encountering thread useful while *region* runs elsewhere.
+
+        If the thread belongs to a virtual target, pump that target's queue
+        ("T.processAnotherEventHandler()"); otherwise degrade to a blocking
+        wait (or raise, under ``strict_await_var``).
+        """
+        mine = current_target()
+        if mine is None:
+            if self.strict_await_var:
+                raise RuntimeStateError(
+                    "await used from a thread that belongs to no virtual target; "
+                    "it would block instead of processing other events"
+                )
+            region.wait()
+            return
+        if not mine.supports_pumping:
+            raise RuntimeStateError(
+                f"virtual target {mine.name!r} wraps an event loop that cannot "
+                "be pumped re-entrantly; use nowait plus the adapter's "
+                "as_future()/completion hooks instead of await"
+            )
+        region.add_done_callback(lambda _r: mine.wakeup())
+        while not region.done:
+            mine.process_one(timeout=self.await_poll_var)
+
+    # ----------------------------------------------------------- directives
+
+    def execute_directive(
+        self,
+        directive: TargetDirective,
+        body: Callable[[], Any],
+        *,
+        condition: bool = True,
+    ) -> TargetRegion:
+        """Execute *body* under a resolved :class:`TargetDirective`.
+
+        ``condition=False`` models a false ``if`` clause: per OpenMP rules the
+        construct executes as if the directive were absent, i.e. inline and
+        synchronous in the encountering thread.
+        """
+        region = TargetRegion(body)
+        if not condition:
+            region.run()
+            region.result()
+            return region
+        if directive.target.kind is TargetKind.DEVICE:
+            raise RuntimeStateError(
+                "physical device targets are out of scope for the virtual-target "
+                "runtime; use an OpenMP implementation with accelerator support"
+            )
+        return self.invoke_target_block(
+            directive.target.name, region, directive.mode, tag=directive.tag
+        )
+
+    # ------------------------------------------------------------------ waits
+
+    def wait_tag(self, tag: str, *, timeout: float | None = None, strict: bool = False) -> None:
+        """The ``wait(name-tag)`` clause: join all blocks named *tag*.
+
+        When called from a thread that belongs to a virtual target, other
+        queued work is processed while waiting (logical barrier), keeping an
+        EDT responsive even inside a join.
+        """
+        mine = current_target()
+        helper = None
+        if mine is not None:
+            poll = self.await_poll_var
+            helper = lambda: mine.process_one(timeout=poll)  # noqa: E731
+        self.tags.wait(tag, timeout=timeout, strict=strict, helper=helper)
+
+
+_default_runtime: PjRuntime | None = None
+_default_lock = threading.Lock()
+
+
+def default_runtime() -> PjRuntime:
+    """The process-wide runtime (created lazily)."""
+    global _default_runtime
+    with _default_lock:
+        if _default_runtime is None:
+            _default_runtime = PjRuntime()
+        return _default_runtime
+
+
+def set_default_runtime(runtime: PjRuntime) -> PjRuntime:
+    """Replace the process-wide runtime (returns it for chaining)."""
+    global _default_runtime
+    with _default_lock:
+        _default_runtime = runtime
+    return runtime
+
+
+def reset_default_runtime(*, shutdown: bool = True) -> None:
+    """Tear down the process-wide runtime (test isolation helper)."""
+    global _default_runtime
+    with _default_lock:
+        rt, _default_runtime = _default_runtime, None
+    if rt is not None and shutdown:
+        rt.shutdown(wait=False)

@@ -1,0 +1,343 @@
+"""Virtual targets: software executors for the extended ``target`` directive.
+
+A *virtual target* (paper §III-A) is a syntax-level abstraction of a thread
+pool executor; it shares the host memory, so posting a region to it involves
+no data mapping.  The paper's experimental implementation offers two kinds
+(Table II), reproduced here:
+
+* :class:`WorkerTarget` — a named pool of ``m`` background threads
+  (``virtual_target_create_worker``).
+* :class:`EdtTarget` — a single special thread, typically the GUI event
+  dispatch thread, that the application registers
+  (``virtual_target_register_edt``).
+
+Both support the *logical barrier* needed by the ``await`` clause: a thread
+that belongs to a target can process other queued work while it waits for an
+offloaded region to complete (Algorithm 1 lines 13-16).
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+import queue
+import threading
+from typing import Any, Callable
+
+from .errors import RuntimeStateError, TargetShutdownError
+from .region import TargetRegion
+
+__all__ = ["VirtualTarget", "WorkerTarget", "EdtTarget", "current_target"]
+
+
+_thread_target = threading.local()
+_logger = logging.getLogger(__name__)
+
+
+def current_target() -> "VirtualTarget | None":
+    """The virtual target the calling thread belongs to, if any."""
+    return getattr(_thread_target, "value", None)
+
+
+class _Wakeup:
+    """Sentinel posted to a queue purely to unblock a pumping thread."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<wakeup>"
+
+
+_WAKEUP = _Wakeup()
+
+
+class VirtualTarget(abc.ABC):
+    """Common behaviour of all virtual targets.
+
+    Subclasses provide the thread(s) that drain :attr:`_queue`.  The queue
+    holds :class:`TargetRegion` instances, plain callables (events posted by
+    higher layers), and wakeup sentinels.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._queue: queue.Queue[Any] = queue.Queue()
+        self._members: set[threading.Thread] = set()
+        self._members_lock = threading.Lock()
+        self._shutdown = threading.Event()
+
+    # ----------------------------------------------------------- membership
+
+    def contains(self, thread: threading.Thread | None = None) -> bool:
+        """True if *thread* (default: the calling thread) belongs to this
+        target's execution environment (Algorithm 1 line 6)."""
+        thread = thread or threading.current_thread()
+        with self._members_lock:
+            return thread in self._members
+
+    def _enter_member(self, thread: threading.Thread | None = None) -> None:
+        thread = thread or threading.current_thread()
+        with self._members_lock:
+            self._members.add(thread)
+        if thread is threading.current_thread():
+            _thread_target.value = self
+
+    def _exit_member(self, thread: threading.Thread | None = None) -> None:
+        thread = thread or threading.current_thread()
+        with self._members_lock:
+            self._members.discard(thread)
+        if thread is threading.current_thread() and current_target() is self:
+            _thread_target.value = None
+
+    @property
+    def member_count(self) -> int:
+        with self._members_lock:
+            return len(self._members)
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def alive(self) -> bool:
+        return not self._shutdown.is_set()
+
+    @abc.abstractmethod
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the member threads."""
+
+    # --------------------------------------------------------------- posting
+
+    def post(self, item: TargetRegion | Callable[[], Any]) -> None:
+        """Enqueue a region or a plain callable for asynchronous execution
+        (Algorithm 1 line 8: ``E.post(B)``)."""
+        if self._shutdown.is_set():
+            raise TargetShutdownError(self.name)
+        self._queue.put(item)
+
+    def wakeup(self) -> None:
+        """Unblock one thread waiting on the queue without giving it work."""
+        self._queue.put(_WAKEUP)
+
+    @property
+    def pending(self) -> int:
+        """Approximate number of queued items (sentinels included)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------ processing
+
+    #: Whether member threads can drain the queue cooperatively (the
+    #: ``await`` logical barrier).  Adapters wrapping foreign event loops
+    #: that cannot be re-entered (e.g. asyncio) set this to False; the
+    #: runtime then refuses ``await`` with guidance instead of deadlocking.
+    supports_pumping: bool = True
+
+    def process_one(self, timeout: float | None = None) -> bool:
+        """Run one queued item in the calling thread.
+
+        Returns True if an actual work item ran; False if the queue was empty
+        for *timeout* seconds or only a wakeup sentinel arrived.  This is the
+        primitive behind the ``await`` logical barrier: *"processing another
+        runnable task in Pyjama's task queue"* (paper §IV-B).
+        """
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return False
+        if item is _WAKEUP or item is _SHUTDOWN:
+            return False
+        self._dispatch(item)
+        return True
+
+    def _dispatch(self, item: Any) -> None:
+        if isinstance(item, TargetRegion):
+            item.run()  # regions capture their own exceptions
+            return
+        try:
+            item()
+        except Exception:  # noqa: BLE001
+            # A failing plain callable must not kill the dispatch loop —
+            # same policy as AWT's EDT. Regions report via their handle;
+            # plain callables get logged.
+            _logger.exception("unhandled exception in %r posted to %s", item, self.name)
+
+    def pump_until(self, predicate: Callable[[], bool], poll: float = 0.05) -> None:
+        """Process queued work in the calling thread until *predicate* holds.
+
+        The calling thread must belong to this target; this is the logical
+        barrier of Algorithm 1 (lines 13-16).  *poll* bounds the wait per
+        iteration so the predicate is re-checked even without a wakeup.
+        """
+        if not self.contains():
+            raise RuntimeStateError(
+                f"thread {threading.current_thread().name!r} does not belong to "
+                f"virtual target {self.name!r} and cannot pump its queue"
+            )
+        while not predicate():
+            self.process_one(timeout=poll)
+
+    def drain(self) -> int:
+        """Process queued items in the calling thread until the queue is empty.
+
+        Returns the number of real work items executed.  Intended for tests
+        and for single-threaded (manually pumped) EDT usage.
+        """
+        count = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return count
+            if item is _WAKEUP or item is _SHUTDOWN:
+                continue
+            self._dispatch(item)
+            count += 1
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} members={self.member_count}>"
+
+
+class WorkerTarget(VirtualTarget):
+    """A worker virtual target: a fixed pool of background threads.
+
+    Created by ``virtual_target_create_worker(tname, m)`` (paper Table II).
+    """
+
+    def __init__(self, name: str, max_threads: int, *, daemon: bool = True) -> None:
+        if max_threads < 1:
+            raise ValueError(f"worker target needs at least 1 thread, got {max_threads}")
+        super().__init__(name)
+        self.max_threads = max_threads
+        self._threads: list[threading.Thread] = []
+        for i in range(max_threads):
+            t = threading.Thread(
+                target=self._worker_loop,
+                name=f"pyjama-{name}-{i}",
+                daemon=daemon,
+            )
+            self._threads.append(t)
+            t.start()
+
+    def _worker_loop(self) -> None:
+        self._enter_member()
+        try:
+            while True:
+                item = self._queue.get()
+                if item is _SHUTDOWN:
+                    # Propagate so every pool thread sees it exactly once.
+                    return
+                if item is _WAKEUP:
+                    continue
+                self._dispatch(item)
+        finally:
+            self._exit_member()
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for t in self._threads:
+                if t is not threading.current_thread():
+                    t.join()
+
+
+class _Shutdown:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<shutdown>"
+
+
+_SHUTDOWN = _Shutdown()
+
+
+class EdtTarget(VirtualTarget):
+    """An event-dispatch-thread virtual target.
+
+    Exactly one thread belongs to it.  Two ways to set it up:
+
+    * :meth:`register_current_thread` — the paper's
+      ``virtual_target_register_edt``: the calling thread (e.g. a GUI
+      framework's dispatch thread) becomes the member and must drive the
+      queue itself via :meth:`run_forever`, :meth:`drain` or
+      :meth:`pump_until`.
+    * :meth:`start_in_thread` — convenience used by the event-loop substrate
+      and by headless tests: spawn a dedicated daemon thread that runs
+      :meth:`run_forever`.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._edt_thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------- binding
+
+    def register_current_thread(self) -> "EdtTarget":
+        if self._edt_thread is not None:
+            raise RuntimeStateError(
+                f"EDT target {self.name!r} is already bound to {self._edt_thread.name!r}"
+            )
+        self._edt_thread = threading.current_thread()
+        self._enter_member()
+        return self
+
+    def start_in_thread(self) -> "EdtTarget":
+        if self._edt_thread is not None:
+            raise RuntimeStateError(f"EDT target {self.name!r} is already bound")
+        started = threading.Event()
+
+        def loop() -> None:
+            self._edt_thread = threading.current_thread()
+            self._enter_member()
+            started.set()
+            try:
+                self.run_forever()
+            finally:
+                self._exit_member()
+
+        t = threading.Thread(target=loop, name=f"pyjama-edt-{self.name}", daemon=True)
+        t.start()
+        started.wait()
+        return self
+
+    @property
+    def edt_thread(self) -> threading.Thread | None:
+        return self._edt_thread
+
+    # ------------------------------------------------------------ event loop
+
+    def run_forever(self) -> None:
+        """Drive the event loop until :meth:`shutdown` is called.
+
+        Must run on the bound thread.
+        """
+        self._require_edt()
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._stopped.set()
+                return
+            if item is _WAKEUP:
+                continue
+            self._dispatch(item)
+
+    def _require_edt(self) -> None:
+        if threading.current_thread() is not self._edt_thread:
+            raise RuntimeStateError(
+                f"this operation must run on the EDT of target {self.name!r}"
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        self._queue.put(_SHUTDOWN)
+        if wait and self._edt_thread is not None:
+            if self._edt_thread is threading.current_thread():
+                return
+            # A registered (not spawned) EDT may never call run_forever();
+            # bound-thread liveness is the caller's business, so only wait for
+            # loop acknowledgement briefly.
+            self._stopped.wait(timeout=5.0)

@@ -1,0 +1,71 @@
+"""Events and event records for the Swing-like substrate.
+
+An :class:`Event` carries a name, an optional payload, and timestamps that
+the benchmarks use to measure *response time*: "the time flow from the event
+firing to the finish of its event handling" (paper §V-A).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventRecord"]
+
+_event_ids = itertools.count()
+
+
+@dataclass
+class Event:
+    """A fired event, timestamped at creation.
+
+    ``record`` is filled in by the event loop when the event is fired, so
+    asynchronous handlers can stamp completion on it from a continuation.
+    """
+
+    name: str
+    payload: Any = None
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+    fired_at: float = field(default_factory=time.perf_counter)
+    record: "EventRecord | None" = field(default=None, repr=False, compare=False)
+
+    def __hash__(self) -> int:
+        return self.event_id
+
+
+@dataclass
+class EventRecord:
+    """Measured lifecycle of one event's handling.
+
+    * ``dispatch_latency`` — fire → handler start on the EDT (how long the
+      event sat in the queue; the responsiveness signal).
+    * ``response_time`` — fire → handling logically finished (the paper's
+      response-time metric).  For asynchronous handlers "finished" means the
+      completion continuation ran, not merely that the EDT returned.
+    """
+
+    event: Event
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def dispatch_latency(self) -> float | None:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.event.fired_at
+
+    @property
+    def response_time(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.event.fired_at
+
+    def mark_started(self) -> None:
+        if self.started_at is None:
+            self.started_at = time.perf_counter()
+
+    def mark_finished(self) -> None:
+        if self.finished_at is None:
+            self.finished_at = time.perf_counter()

@@ -1,0 +1,112 @@
+"""MonteCarlo kernel: stock-path pricing (Java Grande *MonteCarlo*).
+
+The Java Grande MonteCarlo benchmark generates many time series of an
+underlying asset via geometric Brownian motion, derives per-path summary
+statistics (expected return rate and volatility), and averages them across
+paths.  Paths are independent — the natural ``omp for`` axis.
+
+Model: with drift ``mu`` and volatility ``sigma``, the log-price follows
+
+.. math::  d(\\ln S) = (\\mu - \\sigma^2/2)\\,dt + \\sigma\\,dW
+
+so each simulated path applies i.i.d. normal increments.  Per-path we
+re-estimate ``mu`` and ``sigma`` from the generated returns — exactly the
+round trip the original benchmark performs — and the cross-path averages
+should recover the model parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MonteCarloConfig", "PathResult", "simulate_paths", "path_chunks", "run"]
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """Simulation parameters (defaults follow the Java Grande data file:
+    initial price ~100, about 15% annual drift, 30% volatility, 1000 steps
+    covering one year of trading days)."""
+
+    n_paths: int = 2000
+    n_steps: int = 1000
+    s0: float = 100.0
+    mu: float = 0.15
+    sigma: float = 0.3
+    dt: float = 1.0 / 1000.0
+    seed: int = 42
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """Cross-path averages of the re-estimated parameters."""
+
+    mean_mu: float
+    mean_sigma: float
+    mean_final_price: float
+    n_paths: int
+
+    def combine(self, other: "PathResult") -> "PathResult":
+        """Weighted merge of two partial results (reduction operator)."""
+        n = self.n_paths + other.n_paths
+        if n == 0:
+            return PathResult(0.0, 0.0, 0.0, 0)
+        w1, w2 = self.n_paths / n, other.n_paths / n
+        return PathResult(
+            mean_mu=w1 * self.mean_mu + w2 * other.mean_mu,
+            mean_sigma=w1 * self.mean_sigma + w2 * other.mean_sigma,
+            mean_final_price=w1 * self.mean_final_price + w2 * other.mean_final_price,
+            n_paths=n,
+        )
+
+
+def simulate_paths(cfg: MonteCarloConfig, first: int, count: int) -> PathResult:
+    """Simulate paths ``[first, first+count)`` and return their averages.
+
+    Each path gets its own counter-based RNG stream so results are identical
+    regardless of how the path range is partitioned across threads — the
+    determinism property the chunked decomposition relies on.
+    """
+    if count <= 0:
+        return PathResult(0.0, 0.0, 0.0, 0)
+    mus = np.empty(count)
+    sigmas = np.empty(count)
+    finals = np.empty(count)
+    drift = (cfg.mu - 0.5 * cfg.sigma**2) * cfg.dt
+    vol = cfg.sigma * np.sqrt(cfg.dt)
+    for i in range(count):
+        rng = np.random.default_rng(np.random.SeedSequence((cfg.seed, first + i)))
+        increments = drift + vol * rng.standard_normal(cfg.n_steps)
+        log_path = np.concatenate(([np.log(cfg.s0)], np.log(cfg.s0) + np.cumsum(increments)))
+        returns = np.diff(log_path)
+        est_sigma2 = returns.var(ddof=1) / cfg.dt
+        est_mu = returns.mean() / cfg.dt + 0.5 * est_sigma2
+        mus[i] = est_mu
+        sigmas[i] = np.sqrt(est_sigma2)
+        finals[i] = np.exp(log_path[-1])
+    return PathResult(
+        mean_mu=float(mus.mean()),
+        mean_sigma=float(sigmas.mean()),
+        mean_final_price=float(finals.mean()),
+        n_paths=count,
+    )
+
+
+def path_chunks(cfg: MonteCarloConfig, n_chunks: int) -> list[tuple[int, int]]:
+    """Static decomposition of the path index range into (first, count)."""
+    base, extra = divmod(cfg.n_paths, n_chunks)
+    chunks = []
+    first = 0
+    for i in range(n_chunks):
+        count = base + (1 if i < extra else 0)
+        chunks.append((first, count))
+        first += count
+    return chunks
+
+
+def run(cfg: MonteCarloConfig | None = None) -> PathResult:
+    """The sequential kernel: all paths in one call."""
+    cfg = cfg or MonteCarloConfig()
+    return simulate_paths(cfg, 0, cfg.n_paths)

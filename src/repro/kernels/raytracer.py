@@ -1,0 +1,185 @@
+"""RayTracer kernel: sphere-scene rendering (Java Grande *RayTracer*).
+
+The Java Grande RayTracer renders a scene of 64 spheres with one light, a
+reflective shading model, and validates a checksum over the produced pixels.
+This port keeps that structure — a grid of spheres, Lambert + specular
+shading, hard shadows, and one reflection bounce — with rays vectorised per
+image row.  Rows are independent: the ``omp for`` axis of the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Sphere", "Scene", "default_scene", "render_rows", "render", "checksum"]
+
+
+@dataclass(frozen=True)
+class Sphere:
+    center: tuple[float, float, float]
+    radius: float
+    color: tuple[float, float, float]
+    reflectivity: float = 0.4
+    specular: float = 32.0
+
+
+@dataclass
+class Scene:
+    spheres: list[Sphere] = field(default_factory=list)
+    light_pos: tuple[float, float, float] = (-5.0, 8.0, -5.0)
+    light_intensity: float = 1.0
+    ambient: float = 0.08
+    background: tuple[float, float, float] = (0.05, 0.05, 0.1)
+    camera: tuple[float, float, float] = (0.0, 1.5, -6.0)
+    max_depth: int = 2
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        centers = np.array([s.center for s in self.spheres], dtype=np.float64)
+        radii = np.array([s.radius for s in self.spheres], dtype=np.float64)
+        colors = np.array([s.color for s in self.spheres], dtype=np.float64)
+        refl = np.array([s.reflectivity for s in self.spheres], dtype=np.float64)
+        spec = np.array([s.specular for s in self.spheres], dtype=np.float64)
+        return centers, radii, colors, refl, spec
+
+
+def default_scene(n: int = 64) -> Scene:
+    """A deterministic grid of *n* spheres, mirroring the 64-sphere JG scene."""
+    side = max(1, int(round(n ** (1 / 3))))
+    rng = np.random.default_rng(20160816)  # fixed: scene is part of the workload
+    spheres = []
+    i = 0
+    for ix in range(side):
+        for iy in range(side):
+            for iz in range(side):
+                if i >= n:
+                    break
+                center = (
+                    (ix - (side - 1) / 2) * 2.0,
+                    iy * 1.6 + 0.3,
+                    iz * 2.0 + 1.0,
+                )
+                color = tuple(0.25 + 0.75 * rng.random(3))
+                spheres.append(Sphere(center, 0.55, color))
+                i += 1
+    while i < n:
+        center = tuple((rng.random(3) - 0.5) * 6.0)
+        spheres.append(Sphere(center, 0.4, tuple(rng.random(3))))
+        i += 1
+    return Scene(spheres=spheres)
+
+
+def _intersect(
+    origins: np.ndarray, dirs: np.ndarray, centers: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest sphere hit per ray.
+
+    Returns ``(t, index)`` with ``t = inf`` and ``index = -1`` for misses.
+    ``origins``/``dirs``: (n, 3); ``centers``: (m, 3); ``radii``: (m,).
+    """
+    # Vector from each sphere center to each ray origin: (n, m, 3).
+    oc = origins[:, None, :] - centers[None, :, :]
+    b = np.einsum("nmk,nk->nm", oc, dirs)
+    c = np.einsum("nmk,nmk->nm", oc, oc) - radii[None, :] ** 2
+    disc = b * b - c
+    hit = disc >= 0.0
+    sqrt_disc = np.sqrt(np.where(hit, disc, 0.0))
+    t0 = -b - sqrt_disc
+    t1 = -b + sqrt_disc
+    t = np.where(t0 > 1e-6, t0, np.where(t1 > 1e-6, t1, np.inf))
+    t = np.where(hit, t, np.inf)
+    idx = np.argmin(t, axis=1)
+    tmin = t[np.arange(t.shape[0]), idx]
+    idx = np.where(np.isinf(tmin), -1, idx)
+    return tmin, idx
+
+
+def _shade(
+    origins: np.ndarray,
+    dirs: np.ndarray,
+    scene: Scene,
+    arrays,
+    depth: int,
+) -> np.ndarray:
+    centers, radii, colors, refl, spec = arrays
+    n = origins.shape[0]
+    out = np.tile(np.array(scene.background), (n, 1))
+    if n == 0:
+        return out
+    t, idx = _intersect(origins, dirs, centers, radii)
+    hit_mask = idx >= 0
+    if not hit_mask.any():
+        return out
+    h_orig = origins[hit_mask]
+    h_dir = dirs[hit_mask]
+    h_t = t[hit_mask]
+    h_idx = idx[hit_mask]
+
+    points = h_orig + h_dir * h_t[:, None]
+    normals = (points - centers[h_idx]) / radii[h_idx][:, None]
+    base = colors[h_idx]
+
+    light = np.array(scene.light_pos)
+    to_light = light[None, :] - points
+    dist_light = np.linalg.norm(to_light, axis=1)
+    l_dir = to_light / dist_light[:, None]
+
+    # Hard shadows: a hit between the point and the light blocks it.
+    s_orig = points + normals * 1e-4
+    st, sidx = _intersect(s_orig, l_dir, centers, radii)
+    lit = (sidx < 0) | (st > dist_light)
+
+    lambert = np.maximum(np.einsum("nk,nk->n", normals, l_dir), 0.0) * lit
+    view = -h_dir
+    half = l_dir + view
+    half /= np.maximum(np.linalg.norm(half, axis=1, keepdims=True), 1e-12)
+    spec_term = (
+        np.power(np.maximum(np.einsum("nk,nk->n", normals, half), 0.0), spec[h_idx]) * lit
+    )
+
+    shade = (
+        base * (scene.ambient + scene.light_intensity * lambert[:, None])
+        + 0.5 * spec_term[:, None]
+    )
+
+    if depth < scene.max_depth:
+        r_dir = h_dir - 2.0 * np.einsum("nk,nk->n", h_dir, normals)[:, None] * normals
+        reflected = _shade(points + normals * 1e-4, r_dir, scene, arrays, depth + 1)
+        k = refl[h_idx][:, None]
+        shade = (1.0 - k) * shade + k * reflected
+
+    out[hit_mask] = shade
+    return out
+
+
+def render_rows(scene: Scene, width: int, height: int, rows: slice) -> np.ndarray:
+    """Render image rows ``rows`` of a ``height x width`` frame.
+
+    Returns a float64 array of shape ``(n_rows, width, 3)`` in [0, 1].
+    """
+    arrays = scene.arrays()
+    cam = np.array(scene.camera)
+    ys = np.arange(height)[rows]
+    aspect = width / height
+    out = np.empty((len(ys), width, 3))
+    xs = (np.arange(width) + 0.5) / width * 2.0 - 1.0
+    for row_i, y in enumerate(ys):
+        v = 1.0 - (y + 0.5) / height * 2.0
+        dirs = np.stack(
+            [xs * aspect, np.full(width, v + 0.3), np.ones(width)], axis=1
+        )
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        origins = np.tile(cam, (width, 1))
+        out[row_i] = _shade(origins, dirs, scene, arrays, depth=0)
+    return np.clip(out, 0.0, 1.0)
+
+
+def render(scene: Scene, width: int = 64, height: int = 64) -> np.ndarray:
+    """The sequential kernel: the full frame in one call."""
+    return render_rows(scene, width, height, slice(0, height))
+
+
+def checksum(image: np.ndarray) -> float:
+    """The Java Grande-style validation value: sum of all pixel channels."""
+    return float(image.sum())

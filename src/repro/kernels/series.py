@@ -1,0 +1,98 @@
+"""Series kernel: Fourier coefficients of ``(x+1)^x`` (Java Grande *Series*).
+
+The benchmark computes the first ``n`` pairs of Fourier coefficients of
+``f(x) = (x+1)^x`` on the interval ``[0, 2]``:
+
+.. math::
+
+    a_j = \\int_0^2 f(x) \\cos(j \\pi x)\\,dx, \\qquad
+    b_j = \\int_0^2 f(x) \\sin(j \\pi x)\\,dx
+
+evaluated by composite trapezoidal integration with 1000 sub-intervals per
+coefficient, exactly as the Java Grande kernel does.  Work is independent per
+coefficient, which is the ``omp for`` axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "fourier_coefficients",
+    "coefficient_range",
+    "coefficient_chunks",
+    "reference_first_coefficients",
+]
+
+INTERVAL = 2.0
+DEFAULT_POINTS = 1000
+
+
+def _f(x: np.ndarray) -> np.ndarray:
+    """The integrand base function ``(x+1)^x``."""
+    return np.power(x + 1.0, x)
+
+
+def coefficient_range(
+    start: int, stop: int, points: int = DEFAULT_POINTS
+) -> np.ndarray:
+    """Coefficients ``a_j, b_j`` for ``j`` in ``[start, stop)``.
+
+    Returns an ``(stop-start, 2)`` array of ``(a_j, b_j)``.  ``j = 0`` yields
+    ``(a_0/2, 0)`` following the Java Grande convention of storing the mean
+    term in the first slot.
+    """
+    if start < 0 or stop < start:
+        raise ValueError("need 0 <= start <= stop")
+    x = np.linspace(0.0, INTERVAL, points + 1)
+    fx = _f(x)
+    out = np.empty((stop - start, 2), dtype=np.float64)
+    for row, j in enumerate(range(start, stop)):
+        if j == 0:
+            out[row, 0] = np.trapezoid(fx, x) / INTERVAL
+            out[row, 1] = 0.0
+        else:
+            omega = j * np.pi
+            out[row, 0] = np.trapezoid(fx * np.cos(omega * x), x) * (2.0 / INTERVAL)
+            out[row, 1] = np.trapezoid(fx * np.sin(omega * x), x) * (2.0 / INTERVAL)
+    return out
+
+
+def fourier_coefficients(n: int, points: int = DEFAULT_POINTS) -> np.ndarray:
+    """First ``n`` coefficient pairs, sequentially (the serial kernel)."""
+    return coefficient_range(0, n, points)
+
+
+def coefficient_chunks(
+    n: int, n_chunks: int, points: int = DEFAULT_POINTS
+) -> list[tuple[slice, np.ndarray]]:
+    """The kernel decomposed into ``n_chunks`` independent coefficient ranges.
+
+    Mirrors a static ``omp for`` schedule over the coefficient index.
+    """
+    base, extra = divmod(n, n_chunks)
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        if size:
+            chunks.append(
+                (slice(start, start + size), coefficient_range(start, start + size, points))
+            )
+        start += size
+    return chunks
+
+
+def reference_first_coefficients() -> dict[int, tuple[float, float]]:
+    """High-accuracy reference values for validation.
+
+    Computed with adaptive quadrature (scipy) at build time and frozen here so
+    the library itself does not depend on scipy; tests cross-check against a
+    fresh scipy run when available.
+    """
+    return {
+        0: (2.8819181375448135, 0.0),
+        1: (1.1340355956736667, -1.8820902650209874),
+        2: (0.3622204698651016, -1.1648064092784118),
+        3: (0.17031708266276055, -0.81470932068394),
+    }

@@ -1,0 +1,97 @@
+"""SOR kernel: red-black successive over-relaxation (Java Grande *SOR*).
+
+Not used in the paper's GUI benchmark (which picks Crypt, Series,
+MonteCarlo, RayTracer) but part of the same Java Grande section-2 suite;
+included as an extension workload because its parallel structure differs
+from the other kernels: it is *phase-parallel* — within one red or black
+half-sweep, disjoint row bands are independent, but the two phases of each
+iteration must be separated by a barrier.  That makes it the natural demo
+for ``omp for`` + implied barriers, as opposed to the embarrassingly
+parallel chunk kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "initial_grid",
+    "sweep_color",
+    "sweep_color_rows",
+    "run",
+    "checksum",
+    "DEFAULT_OMEGA",
+    "DEFAULT_ITERATIONS",
+]
+
+DEFAULT_OMEGA = 1.25
+DEFAULT_ITERATIONS = 20
+
+RED, BLACK = 0, 1
+
+
+def initial_grid(n: int, seed: int = 20160816) -> np.ndarray:
+    """A deterministic ``n x n`` grid with fixed (Dirichlet) boundary."""
+    if n < 3:
+        raise ValueError("grid must be at least 3x3")
+    rng = np.random.default_rng(seed)
+    return rng.random((n, n))
+
+
+def _color_mask(shape: tuple[int, int], color: int) -> np.ndarray:
+    rows = np.arange(shape[0])[:, None]
+    cols = np.arange(shape[1])[None, :]
+    return (rows + cols) % 2 == color
+
+
+def sweep_color(grid: np.ndarray, color: int, omega: float = DEFAULT_OMEGA) -> None:
+    """One half-sweep: relax every interior cell of *color*, in place.
+
+    Cells of one color depend only on the other color's values, so the
+    entire half-sweep is order-independent (and band-parallel).
+    """
+    sweep_color_rows(grid, color, 1, grid.shape[0] - 1, omega)
+
+
+def sweep_color_rows(
+    grid: np.ndarray, color: int, row_start: int, row_stop: int, omega: float = DEFAULT_OMEGA
+) -> None:
+    """Relax *color* cells of interior rows ``[row_start, row_stop)`` in place.
+
+    Disjoint row ranges of the same color commute — the worksharing axis.
+    """
+    if color not in (RED, BLACK):
+        raise ValueError("color must be RED (0) or BLACK (1)")
+    row_start = max(row_start, 1)
+    row_stop = min(row_stop, grid.shape[0] - 1)
+    if row_start >= row_stop:
+        return
+    interior = grid[row_start:row_stop, 1:-1]
+    neighbours = (
+        grid[row_start - 1 : row_stop - 1, 1:-1]
+        + grid[row_start + 1 : row_stop + 1, 1:-1]
+        + grid[row_start:row_stop, :-2]
+        + grid[row_start:row_stop, 2:]
+    )
+    mask = _color_mask(interior.shape, (color + row_start + 1) % 2)
+    update = (1 - omega) * interior + omega * 0.25 * neighbours
+    interior[mask] = update[mask]
+
+
+def run(
+    n: int,
+    iterations: int = DEFAULT_ITERATIONS,
+    omega: float = DEFAULT_OMEGA,
+    seed: int = 20160816,
+) -> np.ndarray:
+    """The sequential kernel: red-black SOR on a fresh grid."""
+    grid = initial_grid(n, seed)
+    for _ in range(iterations):
+        sweep_color(grid, RED, omega)
+        sweep_color(grid, BLACK, omega)
+    return grid
+
+
+def checksum(grid: np.ndarray) -> float:
+    """Java Grande-style validation value."""
+    return float(grid.sum())

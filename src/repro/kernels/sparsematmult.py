@@ -1,0 +1,102 @@
+"""SparseMatMult kernel: CSR sparse matrix-vector product (Java Grande).
+
+Extension workload (the paper's GUI benchmark uses four other kernels from
+the same suite).  The matrix is stored in compressed-sparse-row form built
+from a seeded generator; the product parallelises over row ranges —
+independent chunks, like Crypt, but with irregular per-row work, which makes
+it the interesting case for the ``dynamic``/``guided`` schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CsrMatrix", "random_csr", "matvec", "matvec_rows", "run"]
+
+
+@dataclass(frozen=True)
+class CsrMatrix:
+    """Compressed sparse row storage."""
+
+    n_rows: int
+    n_cols: int
+    row_ptr: np.ndarray   # int64, len n_rows+1
+    col_idx: np.ndarray   # int64, len nnz
+    values: np.ndarray    # float64, len nnz
+
+    def __post_init__(self) -> None:
+        if self.row_ptr.shape != (self.n_rows + 1,):
+            raise ValueError("row_ptr must have n_rows+1 entries")
+        if self.col_idx.shape != self.values.shape:
+            raise ValueError("col_idx and values must align")
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != len(self.values):
+            raise ValueError("row_ptr must span [0, nnz]")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+
+    @property
+    def nnz(self) -> int:
+        return int(len(self.values))
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.n_rows, self.n_cols))
+        for r in range(self.n_rows):
+            lo, hi = self.row_ptr[r], self.row_ptr[r + 1]
+            dense[r, self.col_idx[lo:hi]] += self.values[lo:hi]
+        return dense
+
+
+def random_csr(
+    n: int, nnz_per_row_mean: float = 5.0, seed: int = 7, skew: float = 2.0
+) -> CsrMatrix:
+    """A seeded random ``n x n`` CSR matrix with *skewed* row lengths.
+
+    ``skew`` controls how unbalanced rows are (gamma-distributed lengths) —
+    the property that separates the static and dynamic schedules.
+    """
+    if n < 1:
+        raise ValueError("matrix must have at least one row")
+    rng = np.random.default_rng(seed)
+    lengths = np.minimum(
+        rng.gamma(shape=1.0 / skew, scale=nnz_per_row_mean * skew, size=n).astype(np.int64),
+        n,
+    )
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=row_ptr[1:])
+    cols = np.concatenate(
+        [rng.choice(n, size=length, replace=False) for length in lengths]
+    ) if lengths.sum() else np.zeros(0, dtype=np.int64)
+    values = rng.standard_normal(int(lengths.sum()))
+    return CsrMatrix(n, n, row_ptr, cols.astype(np.int64), values)
+
+
+def matvec_rows(m: CsrMatrix, x: np.ndarray, row_start: int, row_stop: int) -> np.ndarray:
+    """``(A @ x)[row_start:row_stop]`` — the independent chunk."""
+    if x.shape != (m.n_cols,):
+        raise ValueError(f"x must have {m.n_cols} entries")
+    row_start = max(0, row_start)
+    row_stop = min(m.n_rows, row_stop)
+    out = np.empty(max(0, row_stop - row_start))
+    for i, r in enumerate(range(row_start, row_stop)):
+        lo, hi = m.row_ptr[r], m.row_ptr[r + 1]
+        out[i] = np.dot(m.values[lo:hi], x[m.col_idx[lo:hi]])
+    return out
+
+
+def matvec(m: CsrMatrix, x: np.ndarray) -> np.ndarray:
+    """The full product (sequential kernel)."""
+    return matvec_rows(m, x, 0, m.n_rows)
+
+
+def run(n: int, repeats: int = 10, seed: int = 7) -> np.ndarray:
+    """Java Grande shape: repeated products y = A x, feeding y back scaled."""
+    m = random_csr(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal(n)
+    for _ in range(repeats):
+        y = matvec(m, x)
+        norm = np.linalg.norm(y)
+        x = y / norm if norm > 0 else x
+    return x

@@ -1,0 +1,51 @@
+"""Reduction operators for worksharing constructs.
+
+The operator table follows OpenMP's reduction-identifier list for the
+operators meaningful in Python; identities match the spec's initializer
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["REDUCTIONS", "IDENTITIES", "identity_for", "register_reduction"]
+
+REDUCTIONS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "*": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+    "&&": lambda a, b: bool(a) and bool(b),
+    "||": lambda a, b: bool(a) or bool(b),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+IDENTITIES: dict[str, Any] = {
+    "+": 0,
+    "*": 1,
+    "max": float("-inf"),
+    "min": float("inf"),
+    "&&": True,
+    "||": False,
+    "&": ~0,
+    "|": 0,
+    "^": 0,
+}
+
+
+def identity_for(op: str | None) -> Any:
+    """The initializer value of a reduction operator (None -> None)."""
+    if op is None:
+        return None
+    return IDENTITIES[op]
+
+
+def register_reduction(name: str, fn: Callable[[Any, Any], Any], identity: Any) -> None:
+    """Add a user-defined reduction (OpenMP ``declare reduction``)."""
+    if name in REDUCTIONS:
+        raise ValueError(f"reduction {name!r} already registered")
+    REDUCTIONS[name] = fn
+    IDENTITIES[name] = identity

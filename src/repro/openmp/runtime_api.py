@@ -1,0 +1,113 @@
+"""The OpenMP runtime library routines (``omp_*``)."""
+
+from __future__ import annotations
+
+import time
+
+from .icv import get_max_threads, global_icvs, set_num_threads
+from .team import current_context
+
+__all__ = [
+    "omp_set_schedule",
+    "omp_get_schedule",
+    "omp_get_thread_num",
+    "omp_get_num_threads",
+    "omp_get_max_threads",
+    "omp_set_num_threads",
+    "omp_in_parallel",
+    "omp_get_level",
+    "omp_get_team_size",
+    "omp_get_wtime",
+    "omp_set_nested",
+    "omp_get_nested",
+    "omp_set_max_active_levels",
+    "omp_get_max_active_levels",
+]
+
+
+def omp_get_thread_num() -> int:
+    """Thread number within the innermost team (0 outside any region)."""
+    ctx = current_context()
+    return ctx.thread_num if ctx else 0
+
+
+def omp_get_num_threads() -> int:
+    """Size of the innermost team (1 outside any region)."""
+    ctx = current_context()
+    return ctx.team.num_threads if ctx else 1
+
+
+def omp_get_max_threads() -> int:
+    """Upper bound on the next parallel region's team size."""
+    return get_max_threads()
+
+
+def omp_set_num_threads(n: int) -> None:
+    """Set the default team size for subsequent parallel regions."""
+    set_num_threads(n)
+
+
+def omp_in_parallel() -> bool:
+    """True inside an active (size > 1) parallel region."""
+    ctx = current_context()
+    return bool(ctx and ctx.team.num_threads > 1)
+
+
+def omp_get_level() -> int:
+    """Nesting depth of enclosing parallel regions."""
+    ctx = current_context()
+    return ctx.team.level if ctx else 0
+
+
+def omp_get_team_size(level: int) -> int:
+    """Team size at *level* (only the innermost is tracked; 1 elsewhere)."""
+    ctx = current_context()
+    if ctx is None or level <= 0 or level > ctx.team.level:
+        return 1
+    if level == ctx.team.level:
+        return ctx.team.num_threads
+    return 1
+
+
+def omp_get_wtime() -> float:
+    """Monotonic wall-clock seconds (the OpenMP timing routine)."""
+    return time.perf_counter()
+
+
+def omp_set_schedule(kind: str, chunk: int | None = None) -> None:
+    """Set the run-sched ICVs consulted by ``schedule(runtime)`` loops."""
+    if kind not in ("static", "dynamic", "guided"):
+        raise ValueError(f"unknown schedule kind {kind!r}")
+    if chunk is not None and chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    icvs = global_icvs()
+    icvs.run_sched_var = kind
+    icvs.run_sched_chunk = chunk
+
+
+def omp_get_schedule() -> tuple[str, int | None]:
+    """The (kind, chunk) consulted by schedule(runtime) loops."""
+    icvs = global_icvs()
+    return icvs.run_sched_var, icvs.run_sched_chunk
+
+
+def omp_set_nested(flag: bool) -> None:
+    """Enable or disable nested parallel regions."""
+    global_icvs().nest_var = bool(flag)
+
+
+def omp_get_nested() -> bool:
+    """Whether nested parallel regions are enabled."""
+    return global_icvs().nest_var
+
+
+def omp_set_max_active_levels(n: int) -> None:
+    """Cap the depth of nested active parallel regions."""
+    if n < 1:
+        raise ValueError("max active levels must be >= 1")
+    global_icvs().max_active_levels_var = n
+
+
+def omp_get_max_active_levels() -> int:
+    """The nested-parallelism depth cap."""
+    return global_icvs().max_active_levels_var

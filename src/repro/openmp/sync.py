@@ -1,0 +1,95 @@
+"""Synchronization constructs: barrier, critical, atomic, ordered-lite."""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from .team import current_context
+from .worksharing import WorksharingError
+
+__all__ = ["barrier", "critical", "atomic_update", "Atomic", "flush"]
+
+
+def flush(*variables: Any) -> None:
+    """``#pragma omp flush`` — a documented no-op under CPython.
+
+    The GIL serialises bytecode and every synchronization primitive in this
+    package (locks, events, conditions) already implies the release/acquire
+    ordering flush provides in C.  Kept so ported code compiles unchanged.
+    """
+
+_critical_locks: dict[str, threading.RLock] = {}
+_critical_guard = threading.Lock()
+
+
+def barrier() -> None:
+    """Explicit team barrier (``#pragma omp barrier``)."""
+    ctx = current_context()
+    if ctx is None:
+        raise WorksharingError("barrier used outside a parallel region")
+    ctx.team.barrier()
+
+
+@contextmanager
+def critical(name: str = "") -> Iterator[None]:
+    """``#pragma omp critical [(name)]``: one global lock per name.
+
+    Unnamed criticals share one lock, exactly as in OpenMP.  The lock is
+    re-entrant so a critical section may call code containing the same
+    critical (OpenMP would deadlock here; we choose the safer semantics and
+    document the divergence).
+    """
+    with _critical_guard:
+        lock = _critical_locks.get(name)
+        if lock is None:
+            lock = threading.RLock()
+            _critical_locks[name] = lock
+    with lock:
+        yield
+
+
+class Atomic:
+    """A scalar cell with atomic read-modify-write (``#pragma omp atomic``).
+
+    CPython's GIL makes single bytecodes atomic, but read-modify-write of
+    Python objects is not; this wraps the update in a dedicated lock.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: Any = 0) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> Any:
+        with self._lock:
+            return self._value
+
+    @value.setter
+    def value(self, v: Any) -> None:
+        with self._lock:
+            self._value = v
+
+    def update(self, fn: Callable[[Any], Any]) -> Any:
+        """Atomically set value = fn(value); returns the new value."""
+        with self._lock:
+            self._value = fn(self._value)
+            return self._value
+
+    def add(self, delta: Any) -> Any:
+        return self.update(lambda v: v + delta)
+
+    def compare_and_swap(self, expected: Any, new: Any) -> bool:
+        with self._lock:
+            if self._value == expected:
+                self._value = new
+                return True
+            return False
+
+
+def atomic_update(cell: Atomic, fn: Callable[[Any], Any]) -> Any:
+    """Functional spelling of :meth:`Atomic.update`."""
+    return cell.update(fn)

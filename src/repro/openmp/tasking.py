@@ -1,0 +1,150 @@
+"""The ``task`` construct — the paper's §I foil.
+
+The paper motivates virtual targets by the limits of OpenMP tasks: *"a block
+surrounded by a task directive will be asynchronously executed by the OpenMP
+thread group; an orphaned task directive will execute sequentially unless it
+is surrounded by a parallel directive.  This means the effectiveness of
+OpenMP tasks are confined within an OpenMP parallel region."*
+
+This module implements exactly that confined behaviour so the contrast is
+demonstrable in code:
+
+* inside a parallel region, :func:`task` defers the block to the team's
+  shared task pool; team members execute pending tasks at :func:`taskwait`
+  and at team barriers;
+* an *orphaned* task (no enclosing region, or a serialised team of one)
+  executes immediately, sequentially, in the encountering thread.
+
+Simplifications vs the full spec (documented): :func:`taskwait` waits for
+*all* pending team tasks, not only children of the current task; ``untied``
+and task dependencies are out of scope.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable
+
+from .team import Team, current_context
+
+__all__ = ["task", "taskwait", "TaskHandle"]
+
+
+class TaskHandle:
+    """Completion handle for a deferred task."""
+
+    __slots__ = ("_done", "_result", "_error", "deferred")
+
+    def __init__(self, deferred: bool) -> None:
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: BaseException | None = None
+        self.deferred = deferred
+
+    def _finish(self, result: Any, error: BaseException | None) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._done.wait(timeout):
+            raise TimeoutError("task not finished")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+def _task_pool(team: Team) -> deque:
+    """The team-wide pending-task deque (created lazily, under the team lock)."""
+    with team._lock:
+        pool = getattr(team, "_task_pool", None)
+        if pool is None:
+            pool = deque()
+            team._task_pool = pool  # type: ignore[attr-defined]
+        return pool
+
+
+def _run_task(item: tuple[Callable[[], Any], TaskHandle]) -> None:
+    body, handle = item
+    try:
+        result = body()
+    except BaseException as exc:  # noqa: BLE001 - reported via the handle
+        handle._finish(None, exc)
+    else:
+        handle._finish(result, None)
+
+
+def task(body: Callable[[], Any], *, if_clause: bool = True) -> TaskHandle:
+    """``#pragma omp task``: defer *body* to the team's task pool.
+
+    Orphaned (no enclosing parallel region / team of one) or with a false
+    ``if`` clause, the body runs immediately and sequentially — the paper's
+    point about task's confinement.
+    """
+    ctx = current_context()
+    if ctx is None or ctx.team.num_threads == 1 or not if_clause:
+        handle = TaskHandle(deferred=False)
+        _run_task((body, handle))
+        return handle
+    handle = TaskHandle(deferred=True)
+    pool = _task_pool(ctx.team)
+    with ctx.team._lock:
+        pool.append((body, handle))
+    return handle
+
+
+def _drain(team: Team) -> int:
+    """Execute pending team tasks in the calling thread until the pool is
+    empty; returns the number executed."""
+    pool = _task_pool(team)
+    executed = 0
+    while True:
+        with team._lock:
+            if not pool:
+                return executed
+            item = pool.popleft()
+        _run_task(item)
+        executed += 1
+
+
+def taskwait(timeout: float | None = 30.0) -> int:
+    """``#pragma omp taskwait``: help execute pending tasks, then wait until
+    every team task completed.  Returns the number this thread executed.
+
+    Outside a parallel region this is a no-op (there can be no deferred
+    tasks).
+    """
+    ctx = current_context()
+    if ctx is None:
+        return 0
+    team = ctx.team
+    executed = _drain(team)
+    # Tasks already claimed by other threads may still be running; their
+    # handles are the source of truth.  We conservatively re-drain in case
+    # running tasks spawn more tasks.
+    import time
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        executed += _drain(team)
+        with team._lock:
+            pending = bool(getattr(team, "_task_pool", None))
+        if not pending:
+            return executed
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeoutError("taskwait timed out")
+        time.sleep(0.0005)
+
+
+def drain_tasks_at_barrier(team: Team) -> None:
+    """Hook for barrier integration: execute pending tasks before blocking.
+
+    OpenMP guarantees all tasks complete at a barrier; team barriers call
+    this first.
+    """
+    _drain(team)

@@ -1,0 +1,135 @@
+"""Kernel cost models: how much virtual CPU each event handler consumes.
+
+The GUI benchmark (paper §V-A) binds each event to one Java Grande kernel
+execution lasting tens-to-hundreds of milliseconds ("even computations
+lasting only a few hundred milliseconds demand concurrency").  The constants
+below set each kernel's single-core time at that magnitude and give it an
+Amdahl profile (parallelisable fraction) matching its structure:
+
+* crypt — block-parallel, tiny serial part (key schedule);
+* series — coefficient-parallel, small serial part (setup of the abscissae);
+* montecarlo — path-parallel with a serial accumulation pass;
+* raytracer — row-parallel, nearly perfectly scalable.
+
+The optional ``calibrate_from_host`` rescales the times from this machine's
+real kernel timings, preserving their ratios, for users who want the
+simulator anchored to measured numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Generator
+
+from .des import AllOf, SimEvent, Simulator
+from .machine import Machine
+
+__all__ = [
+    "KernelCostModel",
+    "GUI_KERNELS",
+    "FORK_JOIN_OVERHEAD",
+    "kernel_task",
+    "parallel_kernel_task",
+    "calibrate_from_host",
+]
+
+#: Cost of forking/joining one thread team (virtual seconds) — barrier wake-ups
+#: and work distribution; ~200 µs matches JVM-level measurements.
+FORK_JOIN_OVERHEAD = 200e-6
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Single-event computation profile."""
+
+    name: str
+    serial_time: float          # single-core seconds for the whole kernel
+    parallel_fraction: float    # Amdahl fraction that scales with threads
+
+    def __post_init__(self) -> None:
+        if self.serial_time <= 0:
+            raise ValueError("serial_time must be positive")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError("parallel_fraction must be in [0, 1]")
+
+    def span(self, threads: int) -> float:
+        """Ideal (contention-free) critical-path time on *threads* threads."""
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        if threads == 1:
+            return self.serial_time
+        return (
+            self.serial_time * (1.0 - self.parallel_fraction)
+            + self.serial_time * self.parallel_fraction / threads
+            + FORK_JOIN_OVERHEAD
+        )
+
+    def speedup(self, threads: int) -> float:
+        return self.serial_time / self.span(threads)
+
+
+#: Paper §V-A kernel set, times chosen so the 10..100 req/s sweep crosses the
+#: sequential-EDT saturation point (rate * time = 1) inside the sweep for
+#: every kernel, as the paper's response-time curves do.
+GUI_KERNELS: dict[str, KernelCostModel] = {
+    "crypt": KernelCostModel("crypt", serial_time=0.040, parallel_fraction=0.97),
+    "series": KernelCostModel("series", serial_time=0.030, parallel_fraction=0.95),
+    "montecarlo": KernelCostModel("montecarlo", serial_time=0.060, parallel_fraction=0.97),
+    "raytracer": KernelCostModel("raytracer", serial_time=0.080, parallel_fraction=0.99),
+}
+
+
+def kernel_task(machine: Machine, cost: KernelCostModel):
+    """A task factory running the kernel sequentially (one burst)."""
+
+    def task() -> Generator:
+        yield machine.execute(cost.serial_time, name=f"{cost.name}.seq")
+
+    return task
+
+
+def parallel_kernel_task(
+    sim: Simulator,
+    machine: Machine,
+    cost: KernelCostModel,
+    threads: int,
+    *,
+    per_thread_spawn: float = 0.0,
+):
+    """A task factory running the kernel as a fork-join team of *threads*.
+
+    The serial fraction and the fork/join overhead run first as one burst;
+    then *threads* chunk bursts execute concurrently (and contend for cores
+    through the machine model).  ``per_thread_spawn`` adds thread-creation
+    cost for implementations that spawn a fresh team per request — the
+    §V-B oversubscription story.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+
+    def task() -> Generator:
+        setup = (
+            cost.serial_time * (1.0 - cost.parallel_fraction)
+            + FORK_JOIN_OVERHEAD
+            + per_thread_spawn * threads
+        )
+        yield machine.execute(setup, name=f"{cost.name}.serial")
+        chunk = cost.serial_time * cost.parallel_fraction / threads
+        bursts: list[SimEvent] = [
+            machine.execute(chunk, name=f"{cost.name}.chunk{i}") for i in range(threads)
+        ]
+        yield AllOf(sim, bursts)
+
+    return task
+
+
+def calibrate_from_host(size_class: str = "A") -> dict[str, KernelCostModel]:
+    """Cost models whose serial times come from running the real kernels on
+    this machine (ratios preserved, magnitudes measured)."""
+    from ..kernels import time_kernel
+
+    out = {}
+    for name, model in GUI_KERNELS.items():
+        measured = time_kernel(name, size_class, repeats=1)
+        out[name] = replace(model, serial_time=max(measured, 1e-4))
+    return out

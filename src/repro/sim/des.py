@@ -1,0 +1,289 @@
+"""Discrete-event simulation core: virtual clock, events, processes.
+
+The paper's performance results come from real Java threads on real silicon;
+under CPython's GIL those effects cannot be measured directly, so the
+evaluation layer reproduces them on a deterministic virtual-time simulator
+(the substitution is documented in DESIGN.md).  This module is the kernel:
+
+* :class:`Simulator` — a time-ordered event heap with a monotone clock;
+* :class:`SimEvent` — a one-shot occurrence processes can wait on;
+* :class:`Process` — a generator-based coroutine; ``yield`` suspends it on a
+  delay (number), an event, or another process.
+
+Determinism: ties in time break by schedule order (a monotone sequence
+number), so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = ["SimulationError", "SimEvent", "Process", "Simulator", "AllOf", "AnyOf"]
+
+
+class SimulationError(RuntimeError):
+    """Invalid simulator usage (time travel, double-firing an event, ...)."""
+
+
+class SimEvent:
+    """A one-shot occurrence in virtual time.
+
+    Processes wait by ``yield``-ing the event; firing it (:meth:`succeed` or
+    :meth:`fail`) resumes every waiter at the current simulation time.
+    """
+
+    __slots__ = ("sim", "name", "_fired", "_value", "_error", "_waiters", "fired_at")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._waiters: list[Callable[["SimEvent"], None]] = []
+        self.fired_at: float | None = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        return self._fire(value, None)
+
+    def fail(self, error: BaseException) -> "SimEvent":
+        return self._fire(None, error)
+
+    def _fire(self, value: Any, error: BaseException | None) -> "SimEvent":
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        self._error = error
+        self.fired_at = self.sim.now
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            cb(self)
+        return self
+
+    def on_fire(self, cb: Callable[["SimEvent"], None]) -> None:
+        """Run *cb(event)* when the event fires (immediately if already has)."""
+        if self._fired:
+            cb(self)
+        else:
+            self._waiters.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._fired else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+def AllOf(sim: "Simulator", events: Iterable[SimEvent]) -> SimEvent:
+    """An event that fires once every input event has fired."""
+    events = list(events)
+    combined = SimEvent(sim, name="all_of")
+    remaining = len(events)
+    if remaining == 0:
+        combined.succeed([])
+        return combined
+    results: list[Any] = [None] * remaining
+
+    def make_cb(i: int):
+        def cb(ev: SimEvent) -> None:
+            nonlocal remaining
+            results[i] = ev._value
+            if ev._error is not None and not combined.fired:
+                combined.fail(ev._error)
+                return
+            remaining -= 1
+            if remaining == 0 and not combined.fired:
+                combined.succeed(results)
+
+        return cb
+
+    for i, ev in enumerate(events):
+        ev.on_fire(make_cb(i))
+    return combined
+
+
+def AnyOf(sim: "Simulator", events: Iterable[SimEvent]) -> SimEvent:
+    """An event that fires when the *first* input event fires.
+
+    Its value is the triggering event object (so the waiter can tell which
+    one won); failures propagate from the winner.  Later firings of the
+    other inputs are ignored.
+    """
+    events = list(events)
+    combined = SimEvent(sim, name="any_of")
+    if not events:
+        raise SimulationError("AnyOf needs at least one event")
+
+    def cb(ev: SimEvent) -> None:
+        if combined.fired:
+            return
+        if ev._error is not None:
+            combined.fail(ev._error)
+        else:
+            combined.succeed(ev)
+
+    for ev in events:
+        ev.on_fire(cb)
+    return combined
+
+
+class Process:
+    """A generator-based simulated activity.
+
+    The generator may yield:
+
+    * a number — sleep that many virtual seconds;
+    * a :class:`SimEvent` — wait for it (its value is sent back in);
+    * another :class:`Process` — wait for its completion (its return value is
+      sent back in).
+
+    The process's own :attr:`done` event fires with the generator's return
+    value, or fails with its exception.
+    """
+
+    __slots__ = ("sim", "gen", "name", "done")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(gen).__name__} "
+                "(did you forget a yield?)"
+            )
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = SimEvent(sim, name=f"{self.name}.done")
+        sim.schedule(0.0, lambda: self._step(None, None))
+
+    def _step(self, value: Any, error: BaseException | None) -> None:
+        try:
+            if error is not None:
+                yielded = self.gen.throw(error)
+            else:
+                yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaces via done event
+            self.done.fail(exc)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._step(None, SimulationError("cannot sleep a negative delay"))
+                return
+            self.sim.schedule(float(yielded), lambda: self._step(None, None))
+        elif isinstance(yielded, SimEvent):
+            yielded.on_fire(self._resume_from_event)
+        elif isinstance(yielded, Process):
+            yielded.done.on_fire(self._resume_from_event)
+        else:
+            self._step(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded unsupported {yielded!r}"
+                ),
+            )
+
+    def _resume_from_event(self, ev: SimEvent) -> None:
+        # Resume on the scheduler, not inside the firing call stack, to keep
+        # event-fire ordering FIFO and stack depth bounded.
+        self.sim.schedule(0.0, lambda: self._step(ev._value, ev._error))
+
+
+class Simulator:
+    """The event heap and clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None] | None]] = []
+        self._seq = itertools.count()
+        self._handles: dict[int, bool] = {}
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> int:
+        """Run *fn* after *delay* virtual seconds; returns a cancel handle."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (self.now + delay, seq, fn))
+        self._handles[seq] = True
+        return seq
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled callback (no-op if already run)."""
+        self._handles[handle] = False
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> SimEvent:
+        """An event that fires after *delay*."""
+        ev = SimEvent(self, name)
+        self.schedule(delay, lambda: ev.succeed(value))
+        return ev
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    # --------------------------------------------------------------- running
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback; False if the heap is empty."""
+        while self._heap:
+            t, seq, fn = heapq.heappop(self._heap)
+            alive = self._handles.pop(seq, False)
+            if not alive:
+                continue
+            if t < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = t
+            fn()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Run until the heap drains, *until* is reached, or the safety cap.
+
+        Returns the final clock value.
+        """
+        count = 0
+        while self._heap:
+            t = self._heap[0][0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            if not self.step():
+                break
+            count += 1
+            if count > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; runaway simulation?"
+                )
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for alive in self._handles.values() if alive)

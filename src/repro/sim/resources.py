@@ -1,0 +1,99 @@
+"""Virtual-time resources: FIFO stores and counted resources.
+
+These are the queueing primitives the machine, thread pools, and event loops
+build on; semantics follow the usual DES library conventions (SimPy-style)
+but are implemented directly on :mod:`repro.sim.des` events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .des import SimEvent, SimulationError, Simulator
+
+__all__ = ["Store", "Resource"]
+
+
+class Store:
+    """An unbounded FIFO queue in virtual time.
+
+    ``put`` is immediate; ``get`` returns an event that fires with the next
+    item (immediately if one is queued, else when one arrives).  Getters are
+    served in request order — this is what makes simulated task queues fair.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def cancel_get(self, ev: SimEvent) -> bool:
+        """Withdraw a pending getter (e.g. the loser of an AnyOf race) so it
+        cannot steal a later item.  True if it was still pending."""
+        try:
+            self._getters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+
+class Resource:
+    """A counted resource with FIFO acquisition (e.g. a connection slot)."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[SimEvent] = deque()
+
+    def request(self) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"{self.name}.request")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot straight to the next waiter.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)

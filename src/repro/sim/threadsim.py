@@ -1,0 +1,273 @@
+"""Simulated threads: pools, thread-per-request spawning, and the EDT.
+
+A *simulated task* is a generator yielding DES commands (delays, events,
+processes); pools run tasks from a FIFO queue exactly like
+:class:`repro.core.targets.WorkerTarget` does on real threads.  Costs
+(thread spawn, queue hand-off, EDT post) are explicit parameters so the
+approach models in :mod:`repro.sim.approaches` stay honest about where time
+goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from .des import SimEvent, Simulator
+from .machine import Machine
+from .resources import Store
+from .trace import TraceRecorder
+
+__all__ = ["ThreadCosts", "SimThreadPool", "SimEventLoop", "AwaitBlock", "spawn_thread"]
+
+TaskFactory = Callable[[], Generator]
+
+
+@dataclass(frozen=True)
+class ThreadCosts:
+    """Fixed costs of threading operations (virtual seconds).
+
+    Magnitudes follow common JVM measurements: spawning a platform thread is
+    ~100 µs; a queue hand-off (submit + wake) ~5 µs; a context hop onto the
+    EDT ~10 µs.
+    """
+
+    thread_spawn: float = 100e-6
+    queue_handoff: float = 5e-6
+    edt_post: float = 10e-6
+
+
+class SimThreadPool:
+    """A fixed pool of simulated worker threads sharing one FIFO queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        n_threads: int,
+        name: str = "pool",
+        costs: ThreadCosts | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("pool needs at least one thread")
+        self.sim = sim
+        self.machine = machine
+        self.n_threads = n_threads
+        self.name = name
+        self.costs = costs or ThreadCosts()
+        self.trace = trace
+        self._queue: Store = Store(sim, name=f"{name}.queue")
+        self._workers = [
+            sim.process(self._worker_loop(i), name=f"{name}-{i}")
+            for i in range(n_threads)
+        ]
+        self.completed = 0
+
+    def _worker_loop(self, index: int) -> Generator:
+        while True:
+            factory, done = yield self._queue.get()
+            started = self.sim.now
+            # The hand-off wake-up costs CPU on the receiving thread.
+            yield self.machine.execute(self.costs.queue_handoff, name=f"{self.name}.handoff")
+            try:
+                result = yield self.sim.process(factory(), name=f"{self.name}-task")
+            except Exception as exc:  # noqa: BLE001 - surfaces via done event
+                self.completed += 1
+                self._trace_task(index, started)
+                done.fail(exc)
+            else:
+                self.completed += 1
+                self._trace_task(index, started)
+                done.succeed(result)
+
+    def _trace_task(self, index: int, started: float) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                f"{self.name}-{index}", f"task{self.completed}", started, self.sim.now
+            )
+
+    def submit(self, factory: TaskFactory) -> SimEvent:
+        """Queue a task; returns its completion event."""
+        done = SimEvent(self.sim, name=f"{self.name}.task")
+        self._queue.put((factory, done))
+        return done
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+def spawn_thread(
+    sim: Simulator,
+    machine: Machine,
+    factory: TaskFactory,
+    costs: ThreadCosts | None = None,
+    name: str = "thread",
+) -> SimEvent:
+    """Thread-per-request: pay the spawn cost, then run the task."""
+    costs = costs or ThreadCosts()
+    done = SimEvent(sim, name=f"{name}.done")
+
+    def runner() -> Generator:
+        yield machine.execute(costs.thread_spawn, name=f"{name}.spawn")
+        result = yield sim.process(factory(), name=name)
+        return result
+
+    proc = sim.process(runner(), name=name)
+    proc.done.on_fire(
+        lambda ev: done.fail(ev.error) if ev.error else done.succeed(ev._value)
+    )
+    return done
+
+
+class AwaitBlock:
+    """Marker a handler yields to enter the paper's *logical barrier*.
+
+    The event loop suspends the handler, keeps dispatching other queued
+    events, and re-enqueues the handler's continuation when the block's
+    completion event fires — Algorithm 1 lines 13-16 in virtual time.
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent) -> None:
+        self.event = event
+
+
+class SimEventLoop:
+    """The simulated event-dispatch thread.
+
+    One handler segment at a time, FIFO.  Handlers are generators; ordinary
+    yields (delays, machine bursts, events) keep the EDT busy — that is the
+    blocking the paper's Figure 1(i) shows.  Yielding ``AwaitBlock(ev)``
+    enters the logical barrier, whose semantics depend on ``await_style``:
+
+    * ``"continuation"`` (default) — the loop is released; when *ev* fires
+      the handler's continuation is appended to the queue like any
+      completion event.  This is the idealised model the figures assume.
+    * ``"pumping"`` — the faithful Algorithm 1 semantics: the loop processes
+      other queued events *nested inside* the waiting handler
+      ("T.processAnotherEventHandler()"), so continuations unwind LIFO when
+      awaits overlap — the measured real-thread behaviour (see
+      ``tests/integration/test_await_nesting.py``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        name: str = "edt",
+        costs: ThreadCosts | None = None,
+        trace: TraceRecorder | None = None,
+        await_style: str = "continuation",
+    ) -> None:
+        if await_style not in ("continuation", "pumping"):
+            raise ValueError("await_style must be 'continuation' or 'pumping'")
+        self.sim = sim
+        self.machine = machine
+        self.name = name
+        self.costs = costs or ThreadCosts()
+        self.trace = trace
+        self.await_style = await_style
+        self._queue: Store = Store(sim, name=f"{name}.queue")
+        self.dispatched = 0
+        self.busy_time = 0.0
+        self.max_pump_depth = 0
+        self._pump_depth = 0
+        self._loop = sim.process(self._run(), name=name)
+
+    # ------------------------------------------------------------- posting
+
+    def post(self, factory: TaskFactory) -> SimEvent:
+        """Queue a handler generator; returns its completion event (fires
+        when the handler — including awaited continuations — finishes)."""
+        done = SimEvent(self.sim, name=f"{self.name}.handler")
+        self._queue.put((factory(), done, None, None))
+        return done
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    # ----------------------------------------------------------------- loop
+
+    def _run(self) -> Generator:
+        while True:
+            item = yield self._queue.get()
+            yield from self._run_item(item)
+
+    def _run_item(self, item) -> Generator:
+        gen, done, send_value, throw_error = item
+        self.dispatched += 1
+        segment_start = self.sim.now
+        while True:
+            try:
+                if throw_error is not None:
+                    err, throw_error = throw_error, None
+                    yielded = gen.throw(err)
+                else:
+                    yielded = gen.send(send_value)
+                    send_value = None
+            except StopIteration as stop:
+                self._segment_done(segment_start)
+                done.succeed(stop.value)
+                return
+            except Exception as exc:  # noqa: BLE001
+                self._segment_done(segment_start)
+                done.fail(exc)
+                return
+
+            if isinstance(yielded, AwaitBlock):
+                self._segment_done(segment_start)
+                block = yielded.event
+                if self.await_style == "continuation":
+                    # Free the loop; requeue the continuation on completion.
+                    def resume(ev: SimEvent, gen=gen, done=done) -> None:
+                        self._queue.put((gen, done, ev._value, ev.error))
+
+                    block.on_fire(resume)
+                    return
+                # Pumping (Algorithm 1 lines 13-16): process other events
+                # nested inside this handler, then resume it inline.
+                yield from self._pump_until(block)
+                segment_start = self.sim.now
+                if block.error is not None:
+                    throw_error = block.error
+                else:
+                    send_value = block._value
+                continue
+
+            # Ordinary command: the EDT is blocked while it pends.
+            try:
+                send_value = yield yielded
+            except Exception as exc:  # noqa: BLE001 - route into handler
+                throw_error = exc
+
+    def _pump_until(self, block: SimEvent) -> Generator:
+        """Run queued items until *block* fires (the nested message loop)."""
+        from .des import AnyOf
+
+        self._pump_depth += 1
+        self.max_pump_depth = max(self.max_pump_depth, self._pump_depth)
+        try:
+            while not block.fired:
+                get_ev = self._queue.get()
+                if not get_ev.fired:
+                    try:
+                        yield AnyOf(self.sim, [get_ev, block])
+                    except Exception:  # noqa: BLE001 - block failed; stop pumping
+                        pass
+                    if not get_ev.fired:
+                        self._queue.cancel_get(get_ev)
+                        return
+                yield from self._run_item(get_ev.value)
+        finally:
+            self._pump_depth -= 1
+
+    def _segment_done(self, segment_start: float) -> None:
+        self.busy_time += self.sim.now - segment_start
+        if self.trace is not None:
+            self.trace.record(
+                self.name, f"seg{self.dispatched}", segment_start, self.sim.now
+            )

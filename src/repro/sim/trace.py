@@ -1,0 +1,104 @@
+"""Execution tracing for the simulator: spans and ASCII Gantt timelines.
+
+Figure 1 of the paper is a hand-drawn timeline of EDT/worker occupancy; this
+module lets the simulator draw the real thing from a run.  A
+:class:`TraceRecorder` collects ``(lane, label, start, end)`` spans —
+the event loop and thread pools record into it when given one — and
+:func:`render_ascii` scales them onto a character grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Span", "TraceRecorder", "render_ascii"]
+
+
+@dataclass(frozen=True)
+class Span:
+    lane: str
+    label: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("span ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects execution spans from simulated threads."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def record(self, lane: str, label: str, start: float, end: float) -> None:
+        self.spans.append(Span(lane, label, start, end))
+
+    def lanes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.lane, None)
+        return list(seen)
+
+    def lane_busy_time(self, lane: str) -> float:
+        """Total busy time of a lane, overlap-merged (spans on one simulated
+        thread should not overlap, but merging makes the metric robust)."""
+        intervals = sorted(
+            (s.start, s.end) for s in self.spans if s.lane == lane
+        )
+        total = 0.0
+        cur_start: float | None = None
+        cur_end = 0.0
+        for start, end in intervals:
+            if cur_start is None or start > cur_end:
+                if cur_start is not None:
+                    total += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total
+
+    @property
+    def horizon(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+
+def render_ascii(
+    recorder: TraceRecorder,
+    width: int = 72,
+    until: float | None = None,
+) -> str:
+    """One row per lane; ``█`` marks busy columns, ``·`` idle.
+
+    Deterministic and monospaced, suitable for golden-output tests and for
+    embedding in benchmark reports.
+    """
+    if width < 10:
+        raise ValueError("width too small to render")
+    horizon = until if until is not None else recorder.horizon
+    if horizon <= 0:
+        return "(empty trace)"
+    lanes = recorder.lanes()
+    label_w = max((len(l) for l in lanes), default=0)
+    scale = width / horizon
+    lines = []
+    for lane in lanes:
+        cells = [" "] * width
+        for span in recorder.spans:
+            if span.lane != lane:
+                continue
+            lo = min(width - 1, int(span.start * scale))
+            hi = min(width, max(lo + 1, int(span.end * scale + 0.5)))
+            for i in range(lo, hi):
+                cells[i] = "█"
+        cells = [c if c == "█" else "·" for c in cells]
+        lines.append(f"{lane:>{label_w}} |{''.join(cells)}|")
+    lines.append(f"{'':>{label_w}}  0{'':{width - 8}}{horizon:8.3f}s")
+    return "\n".join(lines)

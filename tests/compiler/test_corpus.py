@@ -1,0 +1,153 @@
+"""End-to-end corpus test: one realistic module using every directive.
+
+The strongest compiler confidence check: a single program that composes the
+event-driven extension with the whole classic surface — and must compute
+exactly what its sequential reading computes.
+"""
+
+import pytest
+
+from repro.core import PjRuntime
+from repro.compiler import compile_source, exec_omp
+
+CORPUS = '''
+import threading
+
+def process_order(worker_tag_results, items, edt_log):
+    """The event-driven half: offload, tag group, wait, EDT updates."""
+    #omp target virtual(worker) name_as(orders)
+    if True:
+        subtotal = sum(items)
+        worker_tag_results.append(("subtotal", subtotal))
+    #omp target virtual(worker) name_as(orders)
+    worker_tag_results.append(("count", len(items)))
+    #omp wait(orders)
+    #omp target virtual(edt) nowait
+    edt_log.append("order processed")
+    return sorted(worker_tag_results)
+
+
+def analytics(matrix_rows, weights):
+    """The fork-join half: parallel for/reduction, sections, single, task,
+    critical, barrier, ordered, collapse."""
+    lock = threading.Lock()
+    stats = {"rows": 0}
+    weighted_total = 0.0
+
+    #omp parallel num_threads(3) default(shared)
+    if True:
+        #omp for schedule(dynamic, 1) reduction(+:weighted_total)
+        for row in matrix_rows:
+            for w, x in zip(weights, row):
+                weighted_total += w * x
+
+        #omp critical(stats)
+        stats["rows"] += 1
+
+        #omp barrier
+
+        #omp single nowait
+        if True:
+            #omp task
+            stats.setdefault("tasked", []).append("t1")
+            #omp task
+            stats.setdefault("tasked", []).append("t2")
+        #omp taskwait
+
+    ordered_trace = []
+    #omp parallel for num_threads(2) schedule(dynamic, 1) ordered
+    for i in range(6):
+        scratch = i * i
+        #omp ordered
+        ordered_trace.append(i)
+
+    grid_sum = 0
+    #omp parallel for num_threads(2) collapse(2) reduction(+:grid_sum)
+    for r in range(3):
+        for c in range(4):
+            grid_sum += r * 10 + c
+
+    section_hits = []
+    #omp parallel sections num_threads(2)
+    if True:
+        #omp section
+        section_hits.append("alpha")
+        #omp section
+        section_hits.append("beta")
+
+    return {
+        "weighted_total": weighted_total,
+        "team_rows": stats["rows"],
+        "tasks": sorted(stats.get("tasked", [])),
+        "ordered": ordered_trace,
+        "grid_sum": grid_sum,
+        "sections": sorted(section_hits),
+    }
+'''
+
+
+def sequential_reference():
+    """CORPUS with pragmas ignored (what any Python interpreter computes)."""
+    ns: dict = {}
+    exec(compile(CORPUS, "<plain corpus>", "exec"), ns)
+    return ns
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    runtime.start_edt("edt")
+    runtime.create_worker("worker", 3)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+class TestCorpus:
+    def test_compiles_cleanly(self):
+        out = compile_source(CORPUS)
+        for marker in ("run_on", "wait_for", "parallel(", "for_loop", "critical",
+                       "barrier", "single", "task(", "taskwait", "ordered",
+                       "collapse_product", "sections"):
+            assert marker in out, f"missing {marker} in generated code"
+
+    def test_event_driven_half_matches_sequential(self, rt):
+        import time
+
+        plain = sequential_reference()
+        compiled = exec_omp(CORPUS, runtime=rt)
+
+        p_log, c_log = [], []
+        p = plain["process_order"]([], [3, 4, 5], p_log)
+        c = compiled["process_order"]([], [3, 4, 5], c_log)
+        assert c == p == [("count", 3), ("subtotal", 12)]
+        deadline = time.monotonic() + 5
+        while not c_log and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert c_log == p_log == ["order processed"]
+
+    def test_fork_join_half_matches_sequential(self, rt):
+        plain = sequential_reference()
+        compiled = exec_omp(CORPUS, runtime=rt)
+
+        rows = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]
+        weights = [0.5, 1.5, 2.5]
+        p = plain["analytics"](rows, weights)
+        c = compiled["analytics"](rows, weights)
+
+        assert c["weighted_total"] == pytest.approx(p["weighted_total"])
+        assert c["ordered"] == p["ordered"] == list(range(6))
+        assert c["grid_sum"] == p["grid_sum"]
+        assert c["tasks"] == p["tasks"] == ["t1", "t2"]
+        assert c["sections"] == p["sections"] == ["alpha", "beta"]
+        # Divergence by design: sequentially one "thread" bumps rows once;
+        # a 3-member team bumps it three times (per-thread execution).
+        assert p["team_rows"] == 1
+        assert c["team_rows"] == 3
+
+    def test_corpus_is_deterministic_across_runs(self, rt):
+        compiled = exec_omp(CORPUS, runtime=rt)
+        rows = [[1.0, 2.0], [3.0, 4.0]]
+        weights = [2.0, 3.0]
+        a = compiled["analytics"](rows, weights)
+        b = compiled["analytics"](rows, weights)
+        assert a == b

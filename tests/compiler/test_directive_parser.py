@@ -1,0 +1,193 @@
+"""Tests for directive lexing and parsing (paper Figure 5 grammar)."""
+
+import pytest
+
+from repro.core import DirectiveSyntaxError, SchedulingMode, TargetKind
+from repro.core.directives import DataSharing
+from repro.compiler import (
+    BarrierDir,
+    CriticalDir,
+    ForDir,
+    MasterDir,
+    ParallelDir,
+    ParallelForDir,
+    SectionDir,
+    SectionsDir,
+    SingleDir,
+    TargetDir,
+    WaitDir,
+    parse_directive,
+)
+from repro.compiler.directive_lexer import DirectiveLexer
+
+
+class TestLexer:
+    def test_tokens(self):
+        lx = DirectiveLexer("virtual(worker) nowait")
+        kinds = []
+        while not lx.at_end():
+            kinds.append(lx.next().kind)
+        assert kinds == ["NAME", "LPAREN", "NAME", "RPAREN", "NAME"]
+
+    def test_operators(self):
+        lx = DirectiveLexer("reduction(&&:flag)")
+        texts = []
+        while not lx.at_end():
+            texts.append(lx.next().text)
+        assert "&&" in texts
+
+    def test_raw_parenthesized_nested(self):
+        lx = DirectiveLexer("(f(a, b) + (c))")
+        assert lx.raw_parenthesized() == "f(a, b) + (c)"
+
+    def test_raw_unbalanced(self):
+        with pytest.raises(DirectiveSyntaxError):
+            DirectiveLexer("(a + b").raw_parenthesized()
+
+    def test_peek_is_stable(self):
+        lx = DirectiveLexer("abc")
+        assert lx.peek().text == "abc"
+        assert lx.peek().text == "abc"
+        assert lx.next().text == "abc"
+        assert lx.at_end()
+
+    def test_unexpected_character(self):
+        with pytest.raises(DirectiveSyntaxError):
+            lx = DirectiveLexer("virtual@worker")
+            while not lx.at_end():
+                lx.next()
+
+
+class TestTargetDirective:
+    def test_minimal_virtual(self):
+        d = parse_directive("target virtual(worker)")
+        assert isinstance(d, TargetDir)
+        assert d.directive.target.kind is TargetKind.VIRTUAL
+        assert d.directive.target.name == "worker"
+        assert d.directive.mode is SchedulingMode.DEFAULT
+
+    @pytest.mark.parametrize(
+        "text,mode",
+        [
+            ("target virtual(w) nowait", SchedulingMode.NOWAIT),
+            ("target virtual(w) await", SchedulingMode.AWAIT),
+            ("target virtual(w) name_as(grp)", SchedulingMode.NAME_AS),
+        ],
+    )
+    def test_scheduling_clauses(self, text, mode):
+        d = parse_directive(text)
+        assert d.directive.mode is mode
+
+    def test_name_as_tag_recorded(self):
+        d = parse_directive("target virtual(w) name_as(mytag)")
+        assert d.directive.tag == "mytag"
+
+    def test_device_clause(self):
+        d = parse_directive("target device(2)")
+        assert d.directive.target.kind is TargetKind.DEVICE
+        assert d.directive.target.device_number == 2
+
+    def test_if_clause_raw_expression(self):
+        d = parse_directive("target virtual(w) if(n > len(xs))")
+        assert d.directive.if_condition == "n > len(xs)"
+
+    def test_data_clauses(self):
+        d = parse_directive("target virtual(w) firstprivate(a, b) private(c)")
+        clauses = {c.sharing: c.variables for c in d.directive.data_clauses}
+        assert clauses[DataSharing.FIRSTPRIVATE] == ("a", "b")
+        assert clauses[DataSharing.PRIVATE] == ("c",)
+
+    def test_missing_target_property(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("target nowait")
+
+    def test_duplicate_target_property(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("target virtual(a) virtual(b)")
+
+    def test_duplicate_scheduling(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("target virtual(a) nowait await")
+
+    def test_unknown_clause(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("target virtual(a) wibble")
+
+    def test_device_number_must_be_int(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("target device(gpu)")
+
+
+class TestOtherDirectives:
+    def test_wait(self):
+        d = parse_directive("wait(grp)")
+        assert isinstance(d, WaitDir)
+        assert d.tag == "grp"
+        assert d.standalone
+
+    def test_barrier(self):
+        d = parse_directive("barrier")
+        assert isinstance(d, BarrierDir)
+        assert d.standalone
+
+    def test_parallel_with_clauses(self):
+        d = parse_directive("parallel num_threads(2 * n) if(flag)")
+        assert isinstance(d, ParallelDir)
+        assert d.num_threads == "2 * n"
+        assert d.if_condition == "flag"
+
+    def test_for_with_schedule_and_reduction(self):
+        d = parse_directive("for schedule(guided, 4) reduction(*:prod) nowait")
+        assert isinstance(d, ForDir)
+        assert d.schedule == "guided"
+        assert d.chunk == 4
+        assert d.reduction_op == "*"
+        assert d.reduction_var == "prod"
+        assert d.nowait
+
+    def test_reduction_name_operator(self):
+        d = parse_directive("for reduction(max:best)")
+        assert d.reduction_op == "max"
+
+    def test_parallel_for_combined(self):
+        d = parse_directive("parallel for num_threads(3) schedule(dynamic) reduction(+:s)")
+        assert isinstance(d, ParallelForDir)
+        assert d.parallel.num_threads == "3"
+        assert d.loop.schedule == "dynamic"
+        assert d.loop.reduction_var == "s"
+
+    def test_parallel_for_rejects_nowait(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("parallel for nowait")
+
+    def test_critical_named_and_unnamed(self):
+        assert parse_directive("critical").name == ""
+        assert parse_directive("critical(locky)").name == "locky"
+
+    def test_single_master_sections_section(self):
+        assert isinstance(parse_directive("single"), SingleDir)
+        assert parse_directive("single nowait").nowait
+        assert isinstance(parse_directive("master"), MasterDir)
+        assert isinstance(parse_directive("sections"), SectionsDir)
+        assert isinstance(parse_directive("section"), SectionDir)
+
+    def test_unknown_directive(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("teams distribute")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("barrier extra")
+
+    def test_bad_schedule(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("for schedule(random)")
+
+    def test_bad_chunk(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("for schedule(static, 0)")
+
+    def test_error_carries_line(self):
+        with pytest.raises(DirectiveSyntaxError) as ei:
+            parse_directive("target nowait", line=17)
+        assert ei.value.line == 17

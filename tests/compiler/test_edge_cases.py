@@ -1,0 +1,200 @@
+"""Compiler hardening: pragmas on unusual statements and structures."""
+
+import ast
+
+import pytest
+
+from repro.core import DirectiveSyntaxError, PjRuntime
+from repro.compiler import compile_source, exec_omp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    runtime.create_worker("worker", 2)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+class TestUnusualBlockShapes:
+    def test_pragma_on_try_statement(self, rt):
+        ns = exec_omp(
+            "out = []\n"
+            "def f():\n"
+            "    #omp target virtual(worker)\n"
+            "    try:\n"
+            "        out.append(1 / 0)\n"
+            "    except ZeroDivisionError:\n"
+            "        out.append('caught')\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert ns["out"] == ["caught"]
+
+    def test_pragma_on_while_loop(self, rt):
+        ns = exec_omp(
+            "def f():\n"
+            "    n = 0\n"
+            "    #omp target virtual(worker)\n"
+            "    while n < 5:\n"
+            "        n += 1\n"
+            "    return n\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        assert ns["result"] == 5
+
+    def test_pragma_on_with_statement(self, rt):
+        ns = exec_omp(
+            "import contextlib\n"
+            "out = []\n"
+            "def f():\n"
+            "    #omp target virtual(worker)\n"
+            "    with contextlib.nullcontext('ctx') as v:\n"
+            "        out.append(v)\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert ns["out"] == ["ctx"]
+
+    def test_pragma_inside_loop_body(self, rt):
+        ns = exec_omp(
+            "out = []\n"
+            "def f():\n"
+            "    for i in range(3):\n"
+            "        #omp target virtual(worker)\n"
+            "        out.append(i * 10)\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert sorted(ns["out"]) == [0, 10, 20]
+
+    def test_pragma_on_function_def(self, rt):
+        """Lifting a def: the function is *defined* on the worker, then
+        callable afterwards (data-context sharing writes it back)."""
+        ns = exec_omp(
+            "def f():\n"
+            "    #omp target virtual(worker)\n"
+            "    def helper(x):\n"
+            "        return x + 1\n"
+            "    return helper(41)\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        assert ns["result"] == 42
+
+    def test_pragma_on_if_with_else_not_unwrapped(self, rt):
+        # `if cond:` with an else is a real conditional, not block sugar.
+        ns = exec_omp(
+            "def f(flag):\n"
+            "    #omp target virtual(worker)\n"
+            "    if flag:\n"
+            "        r = 'yes'\n"
+            "    else:\n"
+            "        r = 'no'\n"
+            "    return r\n"
+            "a = f(True)\n"
+            "b = f(False)\n",
+            runtime=rt,
+        )
+        assert (ns["a"], ns["b"]) == ("yes", "no")
+
+    def test_augmented_assignment_writes_back(self, rt):
+        ns = exec_omp(
+            "def f():\n"
+            "    x = 10\n"
+            "    #omp target virtual(worker)\n"
+            "    x += 32\n"
+            "    return x\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        assert ns["result"] == 42
+
+    def test_tuple_unpacking_assignment(self, rt):
+        ns = exec_omp(
+            "def f():\n"
+            "    #omp target virtual(worker)\n"
+            "    a, b = 1, 2\n"
+            "    return a + b\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        assert ns["result"] == 3
+
+    def test_for_over_inline_list(self, rt):
+        ns = exec_omp(
+            "def f():\n"
+            "    seen = []\n"
+            "    #omp parallel for num_threads(2)\n"
+            "    for item in ['a', 'b', 'c']:\n"
+            "        seen.append(item)\n"
+            "    return sorted(seen)\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        assert ns["result"] == ["a", "b", "c"]
+
+    def test_comprehension_scopes_untouched(self, rt):
+        ns = exec_omp(
+            "def f():\n"
+            "    #omp target virtual(worker)\n"
+            "    values = [i * 2 for i in range(4)]\n"
+            "    return values\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        assert ns["result"] == [0, 2, 4, 6]
+
+
+class TestErrorReporting:
+    def test_line_number_in_directive_error(self):
+        with pytest.raises(DirectiveSyntaxError) as ei:
+            compile_source("x = 1\ny = 2\n#omp target nowait\nz = 3\n")
+        assert ei.value.line == 3
+
+    def test_unconsumed_pragma_reports_its_text(self):
+        with pytest.raises(DirectiveSyntaxError) as ei:
+            compile_source("def f():\n    pass\n    #omp critical\n")
+        assert "critical" in str(ei.value)
+
+    def test_async_def_body_pragmas_unsupported_gracefully(self):
+        # async functions parse; a lifted region containing `await` inside
+        # is rejected (cannot cross the region boundary).
+        with pytest.raises(DirectiveSyntaxError):
+            compile_source(
+                "async def f():\n"
+                "    #omp target virtual(w) nowait\n"
+                "    await something()\n"
+            )
+
+
+class TestLexerProperties:
+    @given(
+        st.permutations(
+            ["nowait", "if(n > 1)", "firstprivate(a, b)", "private(c)"]
+        )
+    )
+    @settings(max_examples=24, deadline=None)
+    def test_target_clause_order_irrelevant(self, clauses):
+        from repro.compiler import parse_directive
+
+        text = "target virtual(w) " + " ".join(clauses)
+        d = parse_directive(text)
+        assert d.directive.target.name == "w"
+        assert d.directive.mode.value == "nowait"
+        assert d.directive.if_condition == "n > 1"
+        sharings = {c.sharing.value: c.variables for c in d.directive.data_clauses}
+        assert sharings["firstprivate"] == ("a", "b")
+        assert sharings["private"] == ("c",)
+
+    @given(st.text(alphabet="abcdefgh_", min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_directive_str_roundtrip(self, name):
+        from repro.compiler import parse_directive
+
+        d = parse_directive(f"target virtual({name}) await")
+        reparsed = parse_directive(str(d.directive))
+        assert reparsed.directive == d.directive

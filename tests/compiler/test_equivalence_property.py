@@ -1,0 +1,111 @@
+"""Property: compiling pragmas never changes sequential semantics.
+
+The paper's design rule — "adding directives does not influence the original
+correctness of the sequential execution" — as a hypothesis property: for
+randomly generated straight-line integer programs, the pragma-compiled
+version (dispatched through a real worker target with a *waiting* mode)
+computes exactly the same final variable state as the plain program.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import exec_omp
+from repro.core import PjRuntime
+
+VARS = ["a", "b", "c", "d"]
+
+# One generated statement: v = <expr over vars/consts>
+_expr = st.one_of(
+    st.integers(min_value=-50, max_value=50).map(str),
+    st.sampled_from(VARS),
+    st.tuples(
+        st.sampled_from(VARS),
+        st.sampled_from(["+", "-", "*"]),
+        st.integers(min_value=-9, max_value=9),
+    ).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+    st.tuples(st.sampled_from(VARS), st.sampled_from(VARS)).map(
+        lambda t: f"({t[0]} + {t[1]})"
+    ),
+)
+_stmt = st.tuples(st.sampled_from(VARS), _expr).map(lambda t: f"{t[0]} = {t[1]}")
+_programs = st.lists(_stmt, min_size=1, max_size=8)
+
+
+def build(body_stmts: list[str], pragma: str | None, split_at: int) -> str:
+    lines = ["def prog():", "    a = 1", "    b = 2", "    c = 3", "    d = 4"]
+    head, tail = body_stmts[:split_at], body_stmts[split_at:]
+    for s in head:
+        lines.append(f"    {s}")
+    if pragma is not None and tail:
+        lines.append(f"    {pragma}")
+        lines.append("    if True:")
+        for s in tail:
+            lines.append(f"        {s}")
+    else:
+        for s in tail:
+            lines.append(f"    {s}")
+    lines.append("    return (a, b, c, d)")
+    lines.append("result = prog()")
+    return "\n".join(lines) + "\n"
+
+
+class TestSequentialEquivalence:
+    @given(_programs, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_target_default_matches_plain(self, stmts, split):
+        runtime = PjRuntime()
+        runtime.create_worker("worker", 2)
+        try:
+            split = min(split, len(stmts))
+            plain = build(stmts, None, split)
+            pragmad = build(stmts, "#omp target virtual(worker)", split)
+            expected = {}
+            exec(compile(plain, "<plain>", "exec"), expected)
+            got = exec_omp(pragmad, runtime=runtime)
+            assert got["result"] == expected["result"]
+        finally:
+            runtime.shutdown(wait=False)
+
+    @given(_programs, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_parallel_team_of_one_matches_plain(self, stmts, split):
+        """A 1-thread parallel region must be exactly sequential."""
+        runtime = PjRuntime()
+        runtime.create_worker("worker", 1)
+        try:
+            split = min(split, len(stmts))
+            plain = build(stmts, None, split)
+            pragmad = build(stmts, "#omp parallel num_threads(1)", split)
+            expected = {}
+            exec(compile(plain, "<plain>", "exec"), expected)
+            got = exec_omp(pragmad, runtime=runtime)
+            assert got["result"] == expected["result"]
+        finally:
+            runtime.shutdown(wait=False)
+
+    @given(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from(["static", "dynamic", "guided"]),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=7)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_for_sum_matches_plain(self, n, threads, schedule, chunk):
+        runtime = PjRuntime()
+        try:
+            sched = schedule if chunk is None else f"{schedule}, {chunk}"
+            src = (
+                "def prog(n):\n"
+                "    total = 0\n"
+                f"    #omp parallel for num_threads({threads}) "
+                f"schedule({sched}) reduction(+:total)\n"
+                "    for i in range(n):\n"
+                "        total += 3 * i - 1\n"
+                "    return total\n"
+            )
+            got = exec_omp(src, runtime=runtime)
+            assert got["prog"](n) == sum(3 * i - 1 for i in range(n))
+        finally:
+            runtime.shutdown(wait=False)

@@ -1,0 +1,335 @@
+"""End-to-end tests: compiled pragma code actually runs with the semantics
+the paper specifies."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import PjRuntime, RegionFailedError
+from repro.compiler import compiled_source_of, exec_omp, omp
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    runtime.start_edt("edt")
+    runtime.create_worker("worker", 3)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+class TestTargetExecution:
+    def test_default_target_runs_on_worker(self, rt):
+        ns = exec_omp(
+            "import threading\n"
+            "out = {}\n"
+            "def f():\n"
+            "    #omp target virtual(worker)\n"
+            "    out['thread'] = threading.current_thread().name\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert ns["out"]["thread"].startswith("pyjama-worker-")
+
+    def test_shared_writeback(self, rt):
+        ns = exec_omp(
+            "def f():\n"
+            "    #omp target virtual(worker)\n"
+            "    x = 41 + 1\n"
+            "    return x\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        assert ns["result"] == 42
+
+    def test_nowait_is_asynchronous(self, rt):
+        ns = exec_omp(
+            "import threading\n"
+            "gate = threading.Event()\n"
+            "ran = threading.Event()\n"
+            "def f():\n"
+            "    #omp target virtual(worker) nowait\n"
+            "    if True:\n"
+            "        gate.wait(5)\n"
+            "        ran.set()\n"
+            "    return 'returned-before-block'\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        assert ns["result"] == "returned-before-block"
+        assert not ns["ran"].is_set()
+        ns["gate"].set()
+        assert ns["ran"].wait(5)
+
+    def test_name_as_wait_joins(self, rt):
+        ns = exec_omp(
+            "done = []\n"
+            "def f():\n"
+            "    #omp target virtual(worker) name_as(g)\n"
+            "    done.append(1)\n"
+            "    #omp target virtual(worker) name_as(g)\n"
+            "    done.append(2)\n"
+            "    #omp wait(g)\n"
+            "    return sorted(done)\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        assert ns["result"] == [1, 2]
+
+    def test_await_from_edt_processes_other_events(self, rt):
+        """The compiled Figure 6 pattern shows the logical barrier."""
+        ns = exec_omp(
+            "import time\n"
+            "order = []\n"
+            "def handler():\n"
+            "    #omp target virtual(worker) await\n"
+            "    if True:\n"
+            "        time.sleep(0.1)\n"
+            "        order.append('offloaded')\n"
+            "    order.append('continuation')\n",
+            runtime=rt,
+        )
+        edt = rt.get_target("edt")
+        handle = rt.invoke_target_block("edt", ns["handler"], "nowait")
+        time.sleep(0.02)
+        rt.invoke_target_block("edt", lambda: ns["order"].append("other-event"), "nowait")
+        handle.wait(5)
+        time.sleep(0.05)
+        assert ns["order"] == ["other-event", "offloaded", "continuation"]
+
+    def test_if_clause_false_runs_inline(self, rt):
+        ns = exec_omp(
+            "import threading\n"
+            "def f(n):\n"
+            "    #omp target virtual(worker) if(n > 100)\n"
+            "    t = threading.current_thread()\n"
+            "    return t\n"
+            "result = f(5)\n",
+            runtime=rt,
+        )
+        assert ns["result"] is threading.current_thread()
+
+    def test_firstprivate_snapshots_value(self, rt):
+        ns = exec_omp(
+            "import threading\n"
+            "gate = threading.Event()\n"
+            "out = []\n"
+            "def f():\n"
+            "    v = 'original'\n"
+            "    #omp target virtual(worker) nowait firstprivate(v)\n"
+            "    if True:\n"
+            "        gate.wait(5)\n"
+            "        out.append(v)\n"
+            "    v = 'mutated'\n"
+            "    return v\n"
+            "f()\n",
+            runtime=rt,
+        )
+        ns["gate"].set()
+        deadline = time.monotonic() + 5
+        while not ns["out"] and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert ns["out"] == ["original"]  # saw the snapshot, not the mutation
+
+    def test_exception_in_waiting_target_propagates(self, rt):
+        ns = exec_omp(
+            "def f():\n"
+            "    #omp target virtual(worker)\n"
+            "    raise ValueError('inner')\n",
+            runtime=rt,
+        )
+        with pytest.raises(RegionFailedError) as ei:
+            ns["f"]()
+        assert isinstance(ei.value.cause, ValueError)
+
+
+class TestForkJoinExecution:
+    def test_parallel_region_thread_count(self, rt):
+        ns = exec_omp(
+            "import repro.openmp as omp_api\n"
+            "seen = set()\n"
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def f():\n"
+            "    #omp parallel num_threads(3)\n"
+            "    if True:\n"
+            "        with lock:\n"
+            "            seen.add(omp_api.omp_get_thread_num())\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert ns["seen"] == {0, 1, 2}
+
+    def test_parallel_for_reduction(self, rt):
+        ns = exec_omp(
+            "def f(n):\n"
+            "    total = 0\n"
+            "    #omp parallel for num_threads(4) reduction(+:total)\n"
+            "    for i in range(n):\n"
+            "        total += i * i\n"
+            "    return total\n"
+            "result = f(200)\n",
+            runtime=rt,
+        )
+        assert ns["result"] == sum(i * i for i in range(200))
+
+    def test_parallel_for_max_reduction(self, rt):
+        ns = exec_omp(
+            "def f(data):\n"
+            "    best = float('-inf')\n"
+            "    #omp parallel for num_threads(3) reduction(max:best)\n"
+            "    for x in data:\n"
+            "        if x > best:\n"
+            "            best = x\n"
+            "    return best\n"
+            "result = f([3, 1, 4, 1, 5, 9, 2, 6])\n",
+            runtime=rt,
+        )
+        assert ns["result"] == 9
+
+    def test_critical_protects_shared_state(self, rt):
+        ns = exec_omp(
+            "count = {'v': 0}\n"
+            "def f():\n"
+            "    #omp parallel num_threads(4)\n"
+            "    if True:\n"
+            "        for _ in range(100):\n"
+            "            #omp critical(c)\n"
+            "            count['v'] += 1\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert ns["count"]["v"] == 400
+
+    def test_sections_execute_once_each(self, rt):
+        ns = exec_omp(
+            "hits = []\n"
+            "def f():\n"
+            "    #omp parallel num_threads(2)\n"
+            "    if True:\n"
+            "        #omp sections\n"
+            "        if True:\n"
+            "            #omp section\n"
+            "            hits.append('a')\n"
+            "            #omp section\n"
+            "            hits.append('b')\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert sorted(ns["hits"]) == ["a", "b"]
+
+    def test_single_runs_once(self, rt):
+        ns = exec_omp(
+            "hits = []\n"
+            "def f():\n"
+            "    #omp parallel num_threads(4)\n"
+            "    if True:\n"
+            "        #omp single\n"
+            "        hits.append(1)\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert ns["hits"] == [1]
+
+    def test_barrier_statement(self, rt):
+        ns = exec_omp(
+            "import repro.openmp as omp_api\n"
+            "phases = []\n"
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def f():\n"
+            "    #omp parallel num_threads(3)\n"
+            "    if True:\n"
+            "        with lock:\n"
+            "            phases.append('pre')\n"
+            "        #omp barrier\n"
+            "        with lock:\n"
+            "            phases.append('post')\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert ns["phases"][:3] == ["pre"] * 3
+        assert ns["phases"][3:] == ["post"] * 3
+
+
+class TestOmpDecorator:
+    def test_decorator_compiles_and_runs(self, rt):
+        @omp(runtime=rt)
+        def square_sum(n):
+            total = 0
+            #omp parallel for num_threads(2) reduction(+:total)
+            for i in range(n):
+                total += i * i
+            return total
+
+        assert square_sum(50) == sum(i * i for i in range(50))
+        assert "for_loop" in compiled_source_of(square_sum)
+
+    def test_decorator_without_runtime_uses_default(self):
+        from repro.core import default_runtime, reset_default_runtime
+
+        reset_default_runtime()
+        try:
+            default_runtime().create_worker("worker", 2)
+
+            @omp
+            def offload():
+                #omp target virtual(worker)
+                result = "from-worker"
+                return result
+
+            assert offload() == "from-worker"
+        finally:
+            reset_default_runtime()
+
+    def test_decorator_snapshots_closure(self, rt):
+        base = 10
+
+        @omp(runtime=rt)
+        def use_closure(x):
+            #omp target virtual(worker)
+            y = base + x
+            return y
+
+        assert use_closure(5) == 15
+
+    def test_metadata_preserved(self, rt):
+        @omp(runtime=rt)
+        def documented():
+            """doc text"""
+            #omp target virtual(worker)
+            pass
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "doc text"
+
+    def test_compiled_source_of_plain_function(self):
+        with pytest.raises(ValueError):
+            compiled_source_of(len)
+
+    def test_sequential_equivalence(self, rt):
+        """The philosophy check: the original (pragmas ignored) and compiled
+        versions compute the same result."""
+
+        def original(n):
+            total = 0
+            for i in range(n):
+                total += i
+            acc = []
+            acc.append(total)
+            return acc[0]
+
+        @omp(runtime=rt)
+        def compiled(n):
+            total = 0
+            #omp parallel for num_threads(3) reduction(+:total)
+            for i in range(n):
+                total += i
+            acc = []
+            #omp target virtual(worker)
+            acc.append(total)
+            return acc[0]
+
+        for n in (0, 1, 17, 100):
+            assert compiled(n) == original(n)

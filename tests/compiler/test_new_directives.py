@@ -1,0 +1,199 @@
+"""Tests for task/taskwait, parallel sections, and default() in the compiler."""
+
+import pytest
+
+from repro.core import DirectiveSyntaxError, PjRuntime
+from repro.compiler import (
+    ParallelSectionsDir,
+    TaskDir,
+    TaskwaitDir,
+    compile_source,
+    exec_omp,
+    parse_directive,
+)
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    runtime.create_worker("worker", 2)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+class TestParsing:
+    def test_task_directive(self):
+        d = parse_directive("task if(n > 2) firstprivate(x)")
+        assert isinstance(d, TaskDir)
+        assert d.if_condition == "n > 2"
+        assert d.data_clauses[0].variables == ("x",)
+
+    def test_task_unknown_clause(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("task nowait")
+
+    def test_taskwait(self):
+        d = parse_directive("taskwait")
+        assert isinstance(d, TaskwaitDir)
+        assert d.standalone
+
+    def test_taskwait_no_clauses(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("taskwait now")
+
+    def test_parallel_sections(self):
+        d = parse_directive("parallel sections num_threads(3)")
+        assert isinstance(d, ParallelSectionsDir)
+        assert d.parallel.num_threads == "3"
+
+    def test_default_shared(self):
+        d = parse_directive("parallel default(shared)")
+        assert d.default_sharing == "shared"
+
+    def test_default_none(self):
+        d = parse_directive("parallel default(none)")
+        assert d.default_sharing == "none"
+
+    def test_default_invalid(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("parallel default(private)")
+
+    def test_default_duplicate(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("parallel default(shared) default(none)")
+
+
+class TestTransform:
+    def test_task_lifted(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp task\n"
+            "    work()\n"
+        )
+        assert "__repro_omp__.task(__omp_task_0)" in out
+
+    def test_task_if_clause(self):
+        out = compile_source(
+            "def f(n):\n"
+            "    #omp task if(n > 10)\n"
+            "    work(n)\n"
+        )
+        assert "if_clause=n > 10" in out
+
+    def test_taskwait_statement(self):
+        out = compile_source("def f():\n    #omp taskwait\n    pass\n")
+        assert "__repro_omp__.taskwait()" in out
+
+    def test_task_return_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            compile_source("def f():\n    #omp task\n    return 1\n")
+
+    def test_parallel_sections_structure(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp parallel sections num_threads(2)\n"
+            "    if True:\n"
+            "        #omp section\n"
+            "        a()\n"
+            "        #omp section\n"
+            "        b()\n"
+        )
+        assert "sections([__omp_section_0, __omp_section_1]" in out
+        assert "__repro_omp__.parallel(" in out
+
+    def test_default_none_rejects_undeclared_assignment(self):
+        with pytest.raises(DirectiveSyntaxError) as ei:
+            compile_source(
+                "def f():\n"
+                "    #omp parallel default(none)\n"
+                "    x = 1\n"
+            )
+        assert "x" in str(ei.value)
+
+    def test_default_none_accepts_declared(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp parallel default(none) private(x) shared(y)\n"
+            "    if True:\n"
+            "        x = 1\n"
+            "        y.append(x)\n"
+        )
+        assert "parallel" in out
+
+    def test_default_shared_is_noop(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp parallel default(shared)\n"
+            "    x = 1\n"
+        )
+        assert "nonlocal x" in out
+
+
+class TestExecution:
+    def test_single_task_taskwait_flow(self, rt):
+        ns = exec_omp(
+            "out = []\n"
+            "def f():\n"
+            "    #omp parallel num_threads(3)\n"
+            "    if True:\n"
+            "        #omp single nowait\n"
+            "        if True:\n"
+            "            #omp task\n"
+            "            out.append('alpha')\n"
+            "            #omp task\n"
+            "            out.append('beta')\n"
+            "        #omp taskwait\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert sorted(ns["out"]) == ["alpha", "beta"]
+
+    def test_orphaned_compiled_task_runs_inline(self, rt):
+        ns = exec_omp(
+            "import threading\n"
+            "out = []\n"
+            "def f():\n"
+            "    #omp task\n"
+            "    out.append(threading.current_thread())\n"
+            "    return out[0]\n"
+            "result = f()\n",
+            runtime=rt,
+        )
+        import threading
+
+        assert ns["result"] is threading.current_thread()
+
+    def test_parallel_sections_execution(self, rt):
+        ns = exec_omp(
+            "res = []\n"
+            "def g():\n"
+            "    #omp parallel sections num_threads(2)\n"
+            "    if True:\n"
+            "        #omp section\n"
+            "        res.append('a')\n"
+            "        #omp section\n"
+            "        res.append('b')\n"
+            "        #omp section\n"
+            "        res.append('c')\n"
+            "g()\n",
+            runtime=rt,
+        )
+        assert sorted(ns["res"]) == ["a", "b", "c"]
+
+    def test_task_firstprivate_snapshot(self, rt):
+        ns = exec_omp(
+            "out = []\n"
+            "def f():\n"
+            "    #omp parallel num_threads(2)\n"
+            "    if True:\n"
+            "        #omp single nowait\n"
+            "        if True:\n"
+            "            v = 'snapshot'\n"
+            "            #omp task firstprivate(v)\n"
+            "            out.append(v)\n"
+            "            v = 'mutated'\n"
+            "        #omp taskwait\n"
+            "f()\n",
+            runtime=rt,
+        )
+        assert ns["out"] == ["snapshot"]

@@ -1,0 +1,117 @@
+"""Tests for @omp applied to methods and other decoration shapes."""
+
+import threading
+
+import pytest
+
+from repro.core import PjRuntime
+from repro.compiler import omp
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    runtime.create_worker("worker", 2)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+class TestMethods:
+    def test_omp_on_instance_method(self, rt):
+        class Service:
+            def __init__(self):
+                self.log = []
+
+            @omp(runtime=rt)
+            def handle(self, x):
+                #omp target virtual(worker)
+                result = x * 2
+                self.log.append(result)
+                return result
+
+        s = Service()
+        assert s.handle(21) == 42
+        assert s.log == [42]
+
+    def test_method_runs_block_on_worker(self, rt):
+        class Service:
+            @omp(runtime=rt)
+            def where(self):
+                #omp target virtual(worker)
+                name = threading.current_thread().name
+                return name
+
+        assert Service().where().startswith("pyjama-worker-")
+
+    def test_omp_on_staticmethod_function(self, rt):
+        class Holder:
+            @staticmethod
+            @omp(runtime=rt)
+            def compute(n):
+                total = 0
+                #omp parallel for num_threads(2) reduction(+:total)
+                for i in range(n):
+                    total += i
+                return total
+
+        assert Holder.compute(10) == 45
+
+    def test_method_with_parallel_region_and_self_state(self, rt):
+        import repro.openmp as omp_api
+
+        class Counter:
+            def __init__(self):
+                self.hits = omp_api.Atomic(0)
+
+            @omp(runtime=rt)
+            def bump(self):
+                #omp parallel num_threads(3)
+                self.hits.add(1)
+
+        c = Counter()
+        c.bump()
+        assert c.hits.value == 3
+
+
+class TestDecorationShapes:
+    def test_stacked_decorators_are_stripped(self, rt):
+        import functools
+
+        def noop_decorator(fn):
+            @functools.wraps(fn)
+            def inner(*a, **k):
+                return fn(*a, **k)
+
+            return inner
+
+        # @omp must be the OUTERMOST so inspect sees the original source; it
+        # strips the whole decorator list from the compiled def.
+        @omp(runtime=rt)
+        @noop_decorator
+        def f():
+            #omp target virtual(worker)
+            v = "ok"
+            return v
+
+        assert f() == "ok"
+
+    def test_default_arguments_preserved(self, rt):
+        @omp(runtime=rt)
+        def f(a, b=10, *rest, **kw):
+            #omp target virtual(worker)
+            total = a + b + sum(rest) + sum(kw.values())
+            return total
+
+        assert f(1) == 11
+        assert f(1, 2, 3, x=4) == 10
+
+    def test_recursive_compiled_function(self, rt):
+        @omp(runtime=rt)
+        def fib(n):
+            #omp task if(False)
+            pass
+            if n < 2:
+                return n
+            return fib(n - 1) + fib(n - 2)
+
+        assert fib(10) == 55

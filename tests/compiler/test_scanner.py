@@ -1,0 +1,56 @@
+"""Tests for pragma scanning."""
+
+import pytest
+
+from repro.core import DirectiveSyntaxError
+from repro.compiler import scan_pragmas, TargetDir, BarrierDir
+
+
+class TestScan:
+    def test_finds_pragmas_with_positions(self):
+        src = (
+            "x = 1\n"
+            "#omp target virtual(w) nowait\n"
+            "y = 2\n"
+            "def f():\n"
+            "    #omp barrier\n"
+            "    pass\n"
+        )
+        pragmas = scan_pragmas(src)
+        assert len(pragmas) == 2
+        assert pragmas[0].line == 2 and pragmas[0].col == 0
+        assert isinstance(pragmas[0].directive, TargetDir)
+        assert pragmas[1].line == 5 and pragmas[1].col == 4
+        assert isinstance(pragmas[1].directive, BarrierDir)
+
+    def test_ordinary_comments_ignored(self):
+        src = "# a comment\n#ompx not a pragma\n# omp also not\nx = 1\n"
+        assert scan_pragmas(src) == []
+
+    def test_pragma_word_boundary(self):
+        assert scan_pragmas("#omp barrier\n") != []
+        assert scan_pragmas("#ompbarrier\n") == []
+
+    def test_trailing_pragma_rejected(self):
+        with pytest.raises(DirectiveSyntaxError) as ei:
+            scan_pragmas("x = 1  #omp barrier\n")
+        assert "own line" in str(ei.value)
+
+    def test_malformed_directive_reports_line(self):
+        with pytest.raises(DirectiveSyntaxError) as ei:
+            scan_pragmas("a = 1\n#omp target nowait\n")
+        assert ei.value.line == 2
+
+    def test_pragmas_sorted_by_line(self):
+        src = "#omp barrier\nx = 1\n#omp barrier\ny = 2\n"
+        pragmas = scan_pragmas(src)
+        assert [p.line for p in pragmas] == [1, 3]
+
+    def test_empty_source(self):
+        assert scan_pragmas("") == []
+
+    def test_multiline_statements_tracked(self):
+        # a #omp comment inside a multi-line expression's lines is trailing
+        src = "x = (1 +\n     2)\n#omp barrier\ny = 1\n"
+        pragmas = scan_pragmas(src)
+        assert len(pragmas) == 1

@@ -1,0 +1,354 @@
+"""Tests for the region-lifting transform: generated-code structure and
+compile-time error detection."""
+
+import ast
+
+import pytest
+
+from repro.core import DirectiveSyntaxError
+from repro.compiler import compile_source
+
+
+def compiled_ast(src: str) -> ast.Module:
+    return ast.parse(compile_source(src))
+
+
+class TestTargetLifting:
+    def test_region_function_generated(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp target virtual(w) nowait\n"
+            "    do_work()\n"
+        )
+        assert "def __omp_region_0():" in out
+        assert "__repro_omp__.run_on('w', __omp_region_0, mode='nowait'" in out
+
+    def test_if_true_sugar_groups_statements(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp target virtual(w) await\n"
+            "    if True:\n"
+            "        a()\n"
+            "        b()\n"
+        )
+        # both calls inside one region; the 'if True' scaffold is gone
+        assert out.count("run_on") == 1
+        assert "if True" not in out
+
+    def test_assigned_names_become_nonlocal(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp target virtual(w) await\n"
+            "    x = 1\n"
+            "    return x\n"
+        )
+        assert "nonlocal x" in out
+        assert "x = None" in out  # pre-init: no other binding in f
+
+    def test_no_preinit_when_bound_before(self):
+        out = compile_source(
+            "def f():\n"
+            "    x = 0\n"
+            "    #omp target virtual(w) await\n"
+            "    x = x + 1\n"
+            "    return x\n"
+        )
+        assert "nonlocal x" in out
+        assert "x = None" not in out
+
+    def test_module_level_uses_global(self):
+        out = compile_source(
+            "#omp target virtual(w) await\n"
+            "x = 1\n"
+        )
+        assert "global x" in out
+
+    def test_firstprivate_becomes_default_arg(self):
+        out = compile_source(
+            "def f(a):\n"
+            "    #omp target virtual(w) nowait firstprivate(a)\n"
+            "    use(a)\n"
+        )
+        assert "def __omp_region_0(a=a):" in out
+
+    def test_private_initialised_none(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp target virtual(w) nowait private(tmp)\n"
+            "    tmp = 1\n"
+        )
+        assert "tmp = None" in out
+        assert "nonlocal" not in out  # private names do not write through
+
+    def test_if_clause_forwarded(self):
+        out = compile_source(
+            "def f(n):\n"
+            "    #omp target virtual(w) nowait if(n > 10)\n"
+            "    work(n)\n"
+        )
+        assert "condition=n > 10" in out
+
+    def test_nested_targets(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp target virtual(w) await\n"
+            "    if True:\n"
+            "        a()\n"
+            "        #omp target virtual(edt) nowait\n"
+            "        update()\n"
+        )
+        assert out.count("run_on") == 2
+        # the inner region is defined inside the outer one
+        tree = ast.parse(out)
+        outer = next(
+            n for n in ast.walk(tree)
+            if isinstance(n, ast.FunctionDef) and n.name.startswith("__omp_region")
+            and any(isinstance(c, ast.FunctionDef) for c in n.body)
+        )
+        assert outer is not None
+
+    def test_device_target_rejected_at_compile_time(self):
+        with pytest.raises(DirectiveSyntaxError) as ei:
+            compile_source("#omp target device(0)\nx = 1\n")
+        assert "virtual targets only" in str(ei.value)
+
+    def test_return_inside_region_rejected(self):
+        with pytest.raises(DirectiveSyntaxError) as ei:
+            compile_source(
+                "def f():\n"
+                "    #omp target virtual(w) nowait\n"
+                "    return 1\n"
+            )
+        assert "structured-block" in str(ei.value)
+
+    def test_break_inside_region_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            compile_source(
+                "def f():\n"
+                "    for i in range(3):\n"
+                "        #omp target virtual(w) nowait\n"
+                "        break\n"
+            )
+
+    def test_break_of_inner_loop_allowed(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp target virtual(w) nowait\n"
+            "    if True:\n"
+            "        for i in range(3):\n"
+            "            break\n"
+        )
+        assert "run_on" in out
+
+
+class TestAssociationErrors:
+    def test_block_pragma_at_end_of_body(self):
+        with pytest.raises(DirectiveSyntaxError):
+            compile_source("def f():\n    x = 1\n    #omp target virtual(w) nowait\n")
+
+    def test_block_pragma_with_mismatched_indent(self):
+        with pytest.raises(DirectiveSyntaxError):
+            compile_source(
+                "def f():\n"
+                "    x = 1\n"
+                "        #omp target virtual(w) nowait\n"
+                "    y = 2\n"
+            )
+
+    def test_trailing_barrier_attaches_to_enclosing_body(self):
+        out = compile_source(
+            "def f():\n"
+            "    x = 1\n"
+            "    #omp barrier\n"
+        )
+        tree = ast.parse(out)
+        f = tree.body[0]
+        assert isinstance(f.body[-1], ast.Expr)
+        assert "barrier" in ast.unparse(f.body[-1])
+
+    def test_class_body_pragma_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            compile_source(
+                "class C:\n"
+                "    #omp target virtual(w) nowait\n"
+                "    x = 1\n"
+            )
+
+    def test_pragma_in_method_ok(self):
+        out = compile_source(
+            "class C:\n"
+            "    def m(self):\n"
+            "        #omp target virtual(w) nowait\n"
+            "        self.work()\n"
+        )
+        assert "run_on" in out
+
+
+class TestForTransform:
+    def test_loop_body_lifted(self):
+        out = compile_source(
+            "def f(data):\n"
+            "    #omp for schedule(dynamic, 3)\n"
+            "    for item in data:\n"
+            "        handle(item)\n"
+        )
+        assert "def __omp_loop_body_0(item):" in out
+        assert "schedule='dynamic'" in out and "chunk=3" in out
+
+    def test_reduction_renames_and_folds(self):
+        out = compile_source(
+            "def f(n):\n"
+            "    total = 0\n"
+            "    #omp for reduction(+:total)\n"
+            "    for i in range(n):\n"
+            "        total += i\n"
+            "    return total\n"
+        )
+        assert "identity_for('+')" in out
+        assert "__repro_omp__.REDUCTIONS['+'](total" in out
+        assert "omp_get_thread_num() == 0" in out
+
+    def test_tuple_target_unpacked(self):
+        out = compile_source(
+            "def f(pairs):\n"
+            "    #omp for\n"
+            "    for a, b in pairs:\n"
+            "        use(a, b)\n"
+        )
+        assert "__omp_item_0" in out
+        assert "a, b = __omp_item_0" in out or "(a, b) = __omp_item_0" in out
+
+    def test_continue_becomes_return(self):
+        out = compile_source(
+            "def f(n):\n"
+            "    #omp for\n"
+            "    for i in range(n):\n"
+            "        if i % 2:\n"
+            "            continue\n"
+            "        work(i)\n"
+        )
+        tree = ast.parse(out)
+        body_fn = next(
+            n for n in ast.walk(tree)
+            if isinstance(n, ast.FunctionDef) and n.name.startswith("__omp_loop_body")
+        )
+        assert any(isinstance(n, ast.Return) for n in ast.walk(body_fn))
+
+    def test_continue_in_nested_loop_kept(self):
+        out = compile_source(
+            "def f(n):\n"
+            "    #omp for\n"
+            "    for i in range(n):\n"
+            "        for j in range(i):\n"
+            "            continue\n"
+        )
+        assert "continue" in out
+
+    def test_for_requires_loop(self):
+        with pytest.raises(DirectiveSyntaxError):
+            compile_source("def f():\n    #omp for\n    x = 1\n")
+
+    def test_break_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            compile_source(
+                "def f(n):\n"
+                "    #omp for\n"
+                "    for i in range(n):\n"
+                "        break\n"
+            )
+
+    def test_orelse_preserved(self):
+        out = compile_source(
+            "def f(n):\n"
+            "    #omp for\n"
+            "    for i in range(n):\n"
+            "        work(i)\n"
+            "    else:\n"
+            "        done()\n"
+        )
+        assert "done()" in out
+
+
+class TestOtherConstructs:
+    def test_critical_becomes_with(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp critical(mylock)\n"
+            "    shared()\n"
+        )
+        assert "with __repro_omp__.critical('mylock'):" in out
+
+    def test_parallel_lifting(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp parallel num_threads(4)\n"
+            "    work()\n"
+        )
+        assert "__repro_omp__.parallel(__omp_parallel_0, num_threads=4)" in out
+
+    def test_single_and_master(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp single nowait\n"
+            "    a()\n"
+            "    #omp master\n"
+            "    b()\n"
+        )
+        assert "single(__omp_single_0, nowait=True)" in out
+        assert "master(__omp_master_0)" in out
+
+    def test_sections_split(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp sections\n"
+            "    if True:\n"
+            "        #omp section\n"
+            "        a()\n"
+            "        #omp section\n"
+            "        b()\n"
+        )
+        assert "sections([__omp_section_0, __omp_section_1]" in out
+
+    def test_first_section_implicit(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp sections\n"
+            "    if True:\n"
+            "        a()\n"
+            "        #omp section\n"
+            "        b()\n"
+        )
+        assert "sections([__omp_section_0, __omp_section_1]" in out
+
+    def test_stray_section_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            compile_source("def f():\n    #omp section\n    a()\n")
+
+    def test_wait_statement(self):
+        out = compile_source("def f():\n    #omp wait(grp)\n    pass\n")
+        assert "wait_for('grp'" in out
+
+    def test_stacked_pragmas_nest(self):
+        out = compile_source(
+            "def f():\n"
+            "    #omp target virtual(w) nowait\n"
+            "    #omp critical\n"
+            "    shared()\n"
+        )
+        tree = ast.parse(out)
+        region = next(
+            n for n in ast.walk(tree)
+            if isinstance(n, ast.FunctionDef) and n.name.startswith("__omp_region")
+        )
+        assert isinstance(region.body[0], ast.With)
+
+
+class TestIdempotentWithoutPragmas:
+    def test_plain_source_passes_through(self):
+        src = "def f(x):\n    return x + 1\n"
+        out = compile_source(src)
+        assert ast.dump(ast.parse(out)) == ast.dump(ast.parse(src))
+
+    def test_non_pragma_comments_preserved_semantically(self):
+        src = "# just a comment\nx = 1\n"
+        assert "x = 1" in compile_source(src)

@@ -1,0 +1,30 @@
+"""Shared fixtures: isolated runtimes so tests never leak threads or targets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PjRuntime
+
+
+@pytest.fixture()
+def rt():
+    """A private runtime, shut down after the test."""
+    runtime = PjRuntime()
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+@pytest.fixture()
+def worker_rt(rt):
+    """Runtime with a 2-thread worker target named 'worker'."""
+    rt.create_worker("worker", 2)
+    return rt
+
+
+@pytest.fixture()
+def edt_rt(rt):
+    """Runtime with a spawned EDT named 'edt' and a worker named 'worker'."""
+    rt.start_edt("edt")
+    rt.create_worker("worker", 2)
+    return rt

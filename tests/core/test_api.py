@@ -1,0 +1,166 @@
+"""Tests for the public API layer (Table II functions, run_on, decorators)."""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    PjRuntime,
+    RegionFailedError,
+    TargetRegion,
+    on_target,
+    run_on,
+    shutdown_all,
+    start_edt,
+    virtual_target_create_worker,
+    virtual_target_register_edt,
+    wait_for,
+)
+
+
+@pytest.fixture()
+def api_rt():
+    rt = PjRuntime()
+    yield rt
+    rt.shutdown(wait=False)
+
+
+class TestTableIIFunctions:
+    def test_create_worker(self, api_rt):
+        t = virtual_target_create_worker("pool", 3, runtime=api_rt)
+        assert api_rt.get_target("pool") is t
+        assert t.max_threads == 3
+
+    def test_register_edt_binds_caller(self, api_rt):
+        result = {}
+
+        def gui_thread():
+            t = virtual_target_register_edt("edt", runtime=api_rt)
+            result["contains"] = t.contains()
+            t.drain()
+
+        th = threading.Thread(target=gui_thread)
+        th.start()
+        th.join(timeout=5)
+        assert result["contains"] is True
+
+    def test_start_edt_headless(self, api_rt):
+        t = start_edt("edt", runtime=api_rt)
+        r = TargetRegion(threading.current_thread)
+        t.post(r)
+        assert r.result(timeout=2) is t.edt_thread
+
+    def test_default_runtime_used_when_omitted(self):
+        from repro.core import default_runtime, reset_default_runtime
+
+        reset_default_runtime()
+        try:
+            virtual_target_create_worker("w", 1)
+            assert default_runtime().has_target("w")
+            h = run_on("w", lambda: 5)
+            assert h.result() == 5
+            shutdown_all(wait=False)
+        finally:
+            reset_default_runtime()
+
+
+class TestRunOn:
+    def test_args_passed_through(self, api_rt):
+        virtual_target_create_worker("w", 1, runtime=api_rt)
+        h = run_on("w", lambda a, b=0: a * b, 6, b=7, runtime=api_rt)
+        assert h.result() == 42
+
+    def test_condition_false_runs_inline(self, api_rt):
+        virtual_target_create_worker("w", 1, runtime=api_rt)
+        h = run_on(
+            "w", threading.current_thread, condition=False, runtime=api_rt
+        )
+        assert h.result() is threading.current_thread()
+
+    def test_condition_false_without_any_target(self, api_rt):
+        # A false if-clause must work even if the named target doesn't exist:
+        # the directive behaves as if absent.
+        h = run_on("ghost", lambda: "inline", condition=False, runtime=api_rt)
+        assert h.result() == "inline"
+
+    def test_nowait_returns_live_handle(self, api_rt):
+        virtual_target_create_worker("w", 1, runtime=api_rt)
+        gate = threading.Event()
+        h = run_on("w", gate.wait, mode="nowait", runtime=api_rt)
+        assert not h.done
+        gate.set()
+        assert h.wait(timeout=2)
+
+    def test_name_as_with_wait_for(self, api_rt):
+        virtual_target_create_worker("w", 2, runtime=api_rt)
+        hits = []
+        for i in range(6):
+            run_on("w", lambda i=i: hits.append(i), mode="name_as", tag="g", runtime=api_rt)
+        wait_for("g", timeout=5, runtime=api_rt)
+        assert sorted(hits) == list(range(6))
+
+
+class TestOnTargetDecorator:
+    def test_sync_decorator_returns_value(self, api_rt):
+        virtual_target_create_worker("w", 1, runtime=api_rt)
+
+        @on_target("w", runtime=api_rt)
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+
+    def test_sync_decorator_raises_through(self, api_rt):
+        virtual_target_create_worker("w", 1, runtime=api_rt)
+
+        @on_target("w", runtime=api_rt)
+        def boom():
+            raise ValueError("inner")
+
+        with pytest.raises(RegionFailedError) as ei:
+            boom()
+        assert isinstance(ei.value.cause, ValueError)
+
+    def test_async_decorator_returns_handle(self, api_rt):
+        virtual_target_create_worker("w", 1, runtime=api_rt)
+
+        @on_target("w", mode="nowait", runtime=api_rt)
+        def work(x):
+            return x * 2
+
+        h = work(21)
+        assert isinstance(h, TargetRegion)
+        assert h.result(timeout=2) == 42
+
+    def test_name_as_decorator(self, api_rt):
+        virtual_target_create_worker("w", 2, runtime=api_rt)
+        hits = []
+
+        @on_target("w", mode="name_as", tag="batch", runtime=api_rt)
+        def record(i):
+            hits.append(i)
+
+        for i in range(4):
+            record(i)
+        wait_for("batch", timeout=5, runtime=api_rt)
+        assert sorted(hits) == [0, 1, 2, 3]
+
+    def test_wraps_preserves_metadata(self, api_rt):
+        virtual_target_create_worker("w", 1, runtime=api_rt)
+
+        @on_target("w", runtime=api_rt)
+        def documented():
+            """docstring here"""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "docstring here"
+        assert documented.__wrapped__ is not None
+
+    def test_decorated_function_runs_on_target_thread(self, api_rt):
+        virtual_target_create_worker("w", 1, runtime=api_rt)
+
+        @on_target("w", runtime=api_rt)
+        def where():
+            return threading.current_thread().name
+
+        assert where().startswith("pyjama-w-")

@@ -1,0 +1,49 @@
+"""Tests for the runtime's dispatch counters (observability)."""
+
+import pytest
+
+from repro.core import PjRuntime
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    runtime.create_worker("worker", 2)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+class TestCounters:
+    def test_posted_vs_inline(self, rt):
+        rt.invoke_target_block("worker", lambda: None)  # from outside: posted
+        assert rt.counters["posted"] == 1
+        assert rt.counters["inline"] == 0
+
+        def nested():
+            rt.invoke_target_block("worker", lambda: None)  # member: inline
+
+        rt.invoke_target_block("worker", nested)
+        assert rt.counters["inline"] == 1
+        assert rt.counters["posted"] == 2
+
+    def test_mode_tallies(self, rt):
+        rt.invoke_target_block("worker", lambda: None, "default")
+        rt.invoke_target_block("worker", lambda: None, "nowait").wait(2)
+        rt.invoke_target_block("worker", lambda: None, "name_as", tag="t").wait(2)
+        rt.invoke_target_block("worker", lambda: None, "await")
+        assert rt.counters["default"] == 1
+        assert rt.counters["nowait"] == 1
+        assert rt.counters["name_as"] == 1
+        assert rt.counters["await"] == 1
+
+    def test_reset(self, rt):
+        rt.invoke_target_block("worker", lambda: None)
+        rt.reset_counters()
+        assert all(v == 0 for v in rt.counters.values())
+
+    def test_condition_false_not_counted(self, rt):
+        from repro.core import run_on
+
+        run_on("worker", lambda: None, condition=False, runtime=rt)
+        assert rt.counters["posted"] == 0
+        assert rt.counters["inline"] == 0

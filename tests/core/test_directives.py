@@ -1,0 +1,108 @@
+"""Unit tests for the directive semantic model (paper Figure 5)."""
+
+import pytest
+
+from repro.core import (
+    DataClause,
+    DataSharing,
+    DirectiveSyntaxError,
+    SchedulingMode,
+    TargetDirective,
+    TargetKind,
+    TargetProperty,
+)
+
+
+class TestTargetProperty:
+    def test_virtual_factory(self):
+        p = TargetProperty.virtual("worker")
+        assert p.kind is TargetKind.VIRTUAL
+        assert p.name == "worker"
+        assert p.device_number is None
+
+    def test_device_factory(self):
+        p = TargetProperty.device(0)
+        assert p.kind is TargetKind.DEVICE
+        assert p.device_number == 0
+
+    def test_virtual_requires_name(self):
+        with pytest.raises(DirectiveSyntaxError):
+            TargetProperty(kind=TargetKind.VIRTUAL, name=None)
+
+    def test_virtual_rejects_empty_name(self):
+        with pytest.raises(DirectiveSyntaxError):
+            TargetProperty(kind=TargetKind.VIRTUAL, name="")
+
+    def test_device_requires_number(self):
+        with pytest.raises(DirectiveSyntaxError):
+            TargetProperty(kind=TargetKind.DEVICE)
+
+    def test_str_roundtrip_forms(self):
+        assert str(TargetProperty.virtual("edt")) == "virtual(edt)"
+        assert str(TargetProperty.device(2)) == "device(2)"
+
+    def test_frozen(self):
+        p = TargetProperty.virtual("worker")
+        with pytest.raises(AttributeError):
+            p.name = "other"
+
+
+class TestSchedulingMode:
+    def test_values_match_clause_spelling(self):
+        assert SchedulingMode("nowait") is SchedulingMode.NOWAIT
+        assert SchedulingMode("await") is SchedulingMode.AWAIT
+        assert SchedulingMode("name_as") is SchedulingMode.NAME_AS
+        assert SchedulingMode("default") is SchedulingMode.DEFAULT
+
+    def test_fire_and_forget_classification(self):
+        # Algorithm 1 lines 10-12: nowait and name_as return immediately.
+        assert SchedulingMode.NOWAIT.is_fire_and_forget
+        assert SchedulingMode.NAME_AS.is_fire_and_forget
+        assert not SchedulingMode.DEFAULT.is_fire_and_forget
+        assert not SchedulingMode.AWAIT.is_fire_and_forget
+
+
+class TestTargetDirective:
+    def test_minimal_virtual_directive(self):
+        d = TargetDirective(target=TargetProperty.virtual("worker"))
+        assert d.is_virtual
+        assert d.mode is SchedulingMode.DEFAULT
+        assert d.tag is None
+
+    def test_name_as_requires_tag(self):
+        with pytest.raises(DirectiveSyntaxError):
+            TargetDirective(
+                target=TargetProperty.virtual("worker"), mode=SchedulingMode.NAME_AS
+            )
+
+    def test_tag_only_valid_with_name_as(self):
+        with pytest.raises(DirectiveSyntaxError):
+            TargetDirective(
+                target=TargetProperty.virtual("worker"),
+                mode=SchedulingMode.NOWAIT,
+                tag="t",
+            )
+
+    def test_str_rendering_all_clauses(self):
+        d = TargetDirective(
+            target=TargetProperty.virtual("worker"),
+            mode=SchedulingMode.NAME_AS,
+            tag="grp",
+            if_condition="n > 10",
+            data_clauses=(DataClause(DataSharing.FIRSTPRIVATE, ("x", "y")),),
+        )
+        s = str(d)
+        assert "target virtual(worker)" in s
+        assert "name_as(grp)" in s
+        assert "if(n > 10)" in s
+        assert "firstprivate(x, y)" in s
+
+    def test_str_await(self):
+        d = TargetDirective(
+            target=TargetProperty.virtual("edt"), mode=SchedulingMode.AWAIT
+        )
+        assert str(d) == "target virtual(edt) await"
+
+    def test_device_directive_is_not_virtual(self):
+        d = TargetDirective(target=TargetProperty.device(1))
+        assert not d.is_virtual

@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These pin down the invariants the paper's runtime silently relies on:
+exactly-once region execution, lossless dispatch, tag-group conservation,
+and FIFO ordering on single-threaded targets.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EdtTarget, PjRuntime, SchedulingMode, TagRegistry, TargetRegion
+
+
+# Keep thread churn bounded: hypothesis runs each property many times.
+FAST = settings(max_examples=25, deadline=None)
+
+
+class TestRegionProperties:
+    @given(st.integers(min_value=1, max_value=24))
+    @FAST
+    def test_concurrent_run_executes_exactly_once(self, racers):
+        """No matter how many threads race run(), the body runs once."""
+        calls = []
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                calls.append(1)
+
+        region = TargetRegion(body)
+        barrier = threading.Barrier(racers)
+
+        def racer():
+            barrier.wait()
+            region.run()
+
+        threads = [threading.Thread(target=racer) for _ in range(racers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert calls == [1]
+
+    @given(st.lists(st.integers(), min_size=0, max_size=30))
+    @FAST
+    def test_result_is_body_return_value(self, payload):
+        region = TargetRegion(lambda: list(payload))
+        region.run()
+        assert region.result() == payload
+
+    @given(st.integers(min_value=0, max_value=10))
+    @FAST
+    def test_all_callbacks_fire(self, n_callbacks):
+        region = TargetRegion(lambda: None)
+        seen = []
+        for i in range(n_callbacks):
+            region.add_done_callback(lambda _r, i=i: seen.append(i))
+        region.run()
+        assert seen == list(range(n_callbacks))
+
+
+class TestDispatchProperties:
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=4))
+    @FAST
+    def test_no_region_lost(self, n_regions, n_threads):
+        """Every posted region completes: the queue never drops work."""
+        rt = PjRuntime()
+        try:
+            rt.create_worker("w", n_threads)
+            results = []
+            lock = threading.Lock()
+
+            def body(i):
+                with lock:
+                    results.append(i)
+
+            handles = [
+                rt.invoke_target_block("w", lambda i=i: body(i), "nowait")
+                for i in range(n_regions)
+            ]
+            for h in handles:
+                assert h.wait(timeout=10)
+            assert sorted(results) == list(range(n_regions))
+        finally:
+            rt.shutdown(wait=False)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=50))
+    @FAST
+    def test_edt_preserves_fifo_order(self, items):
+        """A single-threaded target dispatches in post order."""
+        edt = EdtTarget("fifo")
+        edt.register_current_thread()
+        try:
+            seen = []
+            for x in items:
+                edt.post(lambda x=x: seen.append(x))
+            edt.drain()
+            assert seen == items
+        finally:
+            edt._exit_member()
+
+    @given(
+        st.lists(
+            st.sampled_from(["default", "nowait", "await"]), min_size=1, max_size=12
+        )
+    )
+    @FAST
+    def test_mixed_modes_all_complete(self, modes):
+        rt = PjRuntime()
+        try:
+            rt.create_worker("w", 2)
+            handles = [
+                rt.invoke_target_block("w", lambda: None, SchedulingMode(m))
+                for m in modes
+            ]
+            for h in handles:
+                assert h.wait(timeout=10)
+        finally:
+            rt.shutdown(wait=False)
+
+
+class TestTagProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=0, max_value=8),
+            min_size=1,
+        )
+    )
+    @FAST
+    def test_tag_group_conservation(self, groups):
+        """outstanding(tag) equals registered-minus-finished at every point."""
+        tags = TagRegistry()
+        regions = {
+            tag: [TargetRegion(lambda: None) for _ in range(n)]
+            for tag, n in groups.items()
+        }
+        for tag, rs in regions.items():
+            for r in rs:
+                tags.register(tag, r)
+        for tag, n in groups.items():
+            assert tags.outstanding(tag) == n
+        for tag, rs in regions.items():
+            for i, r in enumerate(rs):
+                r.run()
+                assert tags.outstanding(tag) == len(rs) - i - 1
+
+    @given(st.integers(min_value=0, max_value=20))
+    @FAST
+    def test_wait_after_all_done_never_blocks(self, n):
+        tags = TagRegistry()
+        for _ in range(n):
+            r = TargetRegion(lambda: None)
+            tags.register("t", r)
+            r.run()
+        tags.wait("t", timeout=1)

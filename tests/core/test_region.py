@@ -1,0 +1,140 @@
+"""Unit tests for TargetRegion: the liftable unit of work (paper §IV-A)."""
+
+import threading
+
+import pytest
+
+from repro.core import RegionFailedError, RegionState, TargetRegion
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        r = TargetRegion(lambda: None)
+        assert r.state is RegionState.PENDING
+        assert not r.done
+        assert r.exception is None
+
+    def test_run_completes(self):
+        r = TargetRegion(lambda: 7)
+        r.run()
+        assert r.state is RegionState.COMPLETED
+        assert r.done
+        assert r.result() == 7
+
+    def test_args_kwargs_forwarded(self):
+        r = TargetRegion(lambda a, b, c=0: a + b + c, 1, 2, c=3)
+        r.run()
+        assert r.result() == 6
+
+    def test_run_is_one_shot(self):
+        calls = []
+        r = TargetRegion(lambda: calls.append(1))
+        r.run()
+        r.run()
+        assert calls == [1]
+
+    def test_failure_recorded_and_reraised(self):
+        r = TargetRegion(lambda: 1 / 0)
+        r.run()
+        assert r.state is RegionState.FAILED
+        assert isinstance(r.exception, ZeroDivisionError)
+        with pytest.raises(RegionFailedError) as ei:
+            r.result()
+        assert isinstance(ei.value.cause, ZeroDivisionError)
+        assert ei.value.__cause__ is ei.value.cause
+
+    def test_generated_names_are_unique(self):
+        a, b = TargetRegion(lambda: None), TargetRegion(lambda: None)
+        assert a.name != b.name
+        assert a.name.startswith("TargetRegion_")
+
+    def test_explicit_name(self):
+        r = TargetRegion(lambda: None, name="TargetRegion_hello")
+        assert r.name == "TargetRegion_hello"
+        assert "TargetRegion_hello" in repr(r)
+
+
+class TestCancel:
+    def test_cancel_pending(self):
+        r = TargetRegion(lambda: 1)
+        assert r.cancel()
+        assert r.state is RegionState.CANCELLED
+        assert r.done
+        with pytest.raises(RegionFailedError):
+            r.result()
+
+    def test_cancelled_region_does_not_run(self):
+        calls = []
+        r = TargetRegion(lambda: calls.append(1))
+        r.cancel()
+        r.run()
+        assert calls == []
+
+    def test_cannot_cancel_finished(self):
+        r = TargetRegion(lambda: 1)
+        r.run()
+        assert not r.cancel()
+        assert r.state is RegionState.COMPLETED
+
+    def test_cancel_fires_callbacks(self):
+        seen = []
+        r = TargetRegion(lambda: 1)
+        r.add_done_callback(seen.append)
+        r.cancel()
+        assert seen == [r]
+
+
+class TestWaitAndCallbacks:
+    def test_wait_timeout(self):
+        r = TargetRegion(lambda: 1)
+        assert not r.wait(timeout=0.01)
+
+    def test_result_timeout(self):
+        r = TargetRegion(lambda: 1)
+        with pytest.raises(TimeoutError):
+            r.result(timeout=0.01)
+
+    def test_wait_from_other_thread(self):
+        r = TargetRegion(lambda: "value")
+        t = threading.Thread(target=r.run)
+        t.start()
+        assert r.wait(timeout=2)
+        t.join()
+        assert r.result() == "value"
+
+    def test_callback_after_completion_runs_immediately(self):
+        r = TargetRegion(lambda: 1)
+        r.run()
+        seen = []
+        r.add_done_callback(seen.append)
+        assert seen == [r]
+
+    def test_callbacks_fire_once_in_order(self):
+        seen = []
+        r = TargetRegion(lambda: 1)
+        r.add_done_callback(lambda _: seen.append("a"))
+        r.add_done_callback(lambda _: seen.append("b"))
+        r.run()
+        assert seen == ["a", "b"]
+
+    def test_callback_on_failure(self):
+        seen = []
+        r = TargetRegion(lambda: 1 / 0)
+        r.add_done_callback(lambda reg: seen.append(reg.state))
+        r.run()
+        assert seen == [RegionState.FAILED]
+
+
+class TestStateEnum:
+    @pytest.mark.parametrize(
+        "state,terminal",
+        [
+            (RegionState.PENDING, False),
+            (RegionState.RUNNING, False),
+            (RegionState.COMPLETED, True),
+            (RegionState.FAILED, True),
+            (RegionState.CANCELLED, True),
+        ],
+    )
+    def test_terminality(self, state, terminal):
+        assert state.is_terminal is terminal

@@ -1,0 +1,177 @@
+"""Semantic reproduction of paper Table I: the four scheduling clauses.
+
+Each test pins down the observable contract of one row of Table I:
+
+==========  =====================================================
+default     encountering thread waits until the block finishes
+nowait      skip + no completion notification
+name_as     skip + join later via wait(tag); tags are shareable
+await       skip + process other events until done, then continue
+==========  =====================================================
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import RegionFailedError, TargetRegion
+
+
+class TestDefaultClause:
+    def test_blocks_until_finished(self, worker_rt):
+        finished = []
+        t0 = time.monotonic()
+        worker_rt.invoke_target_block(
+            "worker", lambda: (time.sleep(0.1), finished.append(1))
+        )
+        elapsed = time.monotonic() - t0
+        assert finished == [1]
+        assert elapsed >= 0.1
+
+    def test_result_available_synchronously(self, worker_rt):
+        h = worker_rt.invoke_target_block("worker", lambda: {"k": 1})
+        assert h.result() == {"k": 1}
+
+
+class TestNowaitClause:
+    def test_returns_before_block_finishes(self, worker_rt):
+        release = threading.Event()
+        h = worker_rt.invoke_target_block("worker", release.wait, "nowait")
+        assert not h.done  # still running / queued
+        release.set()
+        assert h.wait(timeout=2)
+
+    def test_safe_to_ignore_handle(self, worker_rt):
+        # "the code block can be safely invoked and ignored" -- broadcasting
+        # interim updates must not require any join.
+        hits = []
+        for i in range(10):
+            worker_rt.invoke_target_block("worker", lambda i=i: hits.append(i), "nowait")
+        deadline = time.monotonic() + 2
+        while len(hits) < 10 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert sorted(hits) == list(range(10))
+
+
+class TestNameAsWaitClause:
+    def test_wait_joins_all_instances_sharing_tag(self, worker_rt):
+        # "different target blocks are allowed to share the same name-tag"
+        done = []
+        lock = threading.Lock()
+
+        def body(i):
+            time.sleep(0.01 * (i % 3))
+            with lock:
+                done.append(i)
+
+        for i in range(8):
+            worker_rt.invoke_target_block(
+                "worker", lambda i=i: body(i), "name_as", tag="shared"
+            )
+        worker_rt.wait_tag("shared", timeout=5)
+        assert sorted(done) == list(range(8))
+
+    def test_wait_on_unknown_tag_is_noop_by_default(self, worker_rt):
+        worker_rt.wait_tag("never-used", timeout=1)
+
+    def test_wait_on_unknown_tag_strict(self, worker_rt):
+        from repro.core import TagError
+
+        with pytest.raises(TagError):
+            worker_rt.wait_tag("never-used", strict=True)
+
+    def test_independent_tags_do_not_interfere(self, worker_rt):
+        slow_gate = threading.Event()
+        worker_rt.invoke_target_block("worker", slow_gate.wait, "name_as", tag="slow")
+        fast = []
+        worker_rt.invoke_target_block(
+            "worker", lambda: fast.append(1), "name_as", tag="fast"
+        )
+        worker_rt.wait_tag("fast", timeout=5)  # must not wait for "slow"
+        assert fast == [1]
+        slow_gate.set()
+        worker_rt.wait_tag("slow", timeout=5)
+
+    def test_wait_surfaces_group_errors(self, worker_rt):
+        worker_rt.invoke_target_block("worker", lambda: 1 / 0, "name_as", tag="bad")
+        with pytest.raises(RegionFailedError):
+            worker_rt.wait_tag("bad", timeout=5)
+
+    def test_wait_timeout(self, worker_rt):
+        gate = threading.Event()
+        worker_rt.invoke_target_block("worker", gate.wait, "name_as", tag="stuck")
+        with pytest.raises(TimeoutError):
+            worker_rt.wait_tag("stuck", timeout=0.05)
+        gate.set()
+        worker_rt.wait_tag("stuck", timeout=5)
+
+    def test_tag_reusable_after_completion(self, worker_rt):
+        worker_rt.invoke_target_block("worker", lambda: 1, "name_as", tag="t")
+        worker_rt.wait_tag("t", timeout=5)
+        hits = []
+        worker_rt.invoke_target_block("worker", lambda: hits.append(1), "name_as", tag="t")
+        worker_rt.wait_tag("t", timeout=5)
+        assert hits == [1]
+
+    def test_wait_from_edt_keeps_processing_events(self, edt_rt):
+        """wait(tag) from the EDT is a logical barrier too: queued events run
+        while the EDT waits for the tag group."""
+        edt = edt_rt.get_target("edt")
+        order = []
+        done = threading.Event()
+
+        def handler():
+            edt_rt.invoke_target_block(
+                "worker",
+                lambda: (time.sleep(0.1), order.append("tagged"))[1],
+                "name_as",
+                tag="grp",
+            )
+            edt_rt.wait_tag("grp", timeout=5)
+            order.append("after-wait")
+            done.set()
+
+        edt.post(TargetRegion(handler))
+        time.sleep(0.02)
+        edt.post(TargetRegion(lambda: order.append("other-event")))
+        assert done.wait(timeout=5)
+        assert order == ["other-event", "tagged", "after-wait"]
+
+
+class TestAwaitClause:
+    def test_continuation_runs_after_block(self, edt_rt):
+        edt = edt_rt.get_target("edt")
+        order = []
+        done = threading.Event()
+
+        def handler():
+            edt_rt.invoke_target_block(
+                "worker", lambda: order.append("block"), "await"
+            )
+            order.append("continuation")
+            done.set()
+
+        edt.post(TargetRegion(handler))
+        assert done.wait(timeout=5)
+        assert order == ["block", "continuation"]
+
+    def test_edt_responsive_during_await(self, edt_rt):
+        """The headline property (paper Fig. 1 / Table I): events fired while
+        a handler awaits a long computation are handled promptly, not after
+        the computation."""
+        edt = edt_rt.get_target("edt")
+        response_times = {}
+        done = threading.Event()
+
+        def long_handler():
+            edt_rt.invoke_target_block("worker", lambda: time.sleep(0.3), "await")
+            done.set()
+
+        edt.post(TargetRegion(long_handler))
+        time.sleep(0.02)
+        fired = time.monotonic()
+        edt.post(TargetRegion(lambda: response_times.update(quick=time.monotonic() - fired)))
+        assert done.wait(timeout=5)
+        # The quick event ran during the 0.3 s await, far sooner than 0.3 s.
+        assert response_times["quick"] < 0.15

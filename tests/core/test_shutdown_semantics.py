@@ -1,0 +1,78 @@
+"""Tests for target shutdown and backlog semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import PjRuntime, TargetRegion, TargetShutdownError, WorkerTarget
+
+
+class TestWorkerShutdown:
+    def test_shutdown_drains_backlog_first(self):
+        """Queued regions posted before shutdown still execute (the shutdown
+        sentinel queues FIFO behind them)."""
+        target = WorkerTarget("drainer", 1)
+        results = []
+        regions = [TargetRegion(lambda i=i: results.append(i)) for i in range(6)]
+        gate = threading.Event()
+        target.post(TargetRegion(gate.wait))
+        for r in regions:
+            target.post(r)
+        gate.set()
+        target.shutdown(wait=True)
+        assert results == [0, 1, 2, 3, 4, 5]
+        assert all(r.done for r in regions)
+
+    def test_post_after_shutdown_raises_immediately(self):
+        target = WorkerTarget("gone", 1)
+        target.shutdown(wait=True)
+        with pytest.raises(TargetShutdownError):
+            target.post(TargetRegion(lambda: None))
+
+    def test_shutdown_without_wait_returns_fast(self):
+        target = WorkerTarget("slowpool", 1)
+        gate = threading.Event()
+        target.post(TargetRegion(gate.wait))
+        t0 = time.monotonic()
+        target.shutdown(wait=False)
+        assert time.monotonic() - t0 < 0.5
+        gate.set()
+
+    def test_shutdown_from_member_thread_does_not_deadlock(self):
+        target = WorkerTarget("selfstop", 2)
+        finished = threading.Event()
+
+        def stop_from_inside():
+            target.shutdown(wait=True)  # must skip joining itself
+            finished.set()
+
+        target.post(TargetRegion(stop_from_inside))
+        assert finished.wait(timeout=5)
+
+
+class TestRuntimeShutdown:
+    def test_runtime_shutdown_is_idempotent(self):
+        rt = PjRuntime()
+        rt.create_worker("w", 1)
+        rt.shutdown()
+        rt.shutdown()
+
+    def test_targets_usable_again_after_unregister(self):
+        rt = PjRuntime()
+        try:
+            rt.create_worker("w", 1)
+            rt.unregister_target("w")
+            rt.create_worker("w", 2)  # same name, fresh pool
+            assert rt.invoke_target_block("w", lambda: "fresh").result() == "fresh"
+        finally:
+            rt.shutdown(wait=False)
+
+    def test_invoke_after_runtime_shutdown_fails_cleanly(self):
+        from repro.core import UnknownTargetError
+
+        rt = PjRuntime()
+        rt.create_worker("w", 1)
+        rt.shutdown()
+        with pytest.raises(UnknownTargetError):
+            rt.invoke_target_block("w", lambda: None)

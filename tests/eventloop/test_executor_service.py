@@ -1,0 +1,117 @@
+"""Tests for the ExecutorService and thread-per-request baselines."""
+
+import threading
+import time
+
+import pytest
+
+from repro.eventloop import ExecutorService, ThreadPerRequestExecutor, new_fixed_thread_pool
+
+
+@pytest.fixture()
+def pool():
+    p = ExecutorService(3, name="test-pool")
+    yield p
+    p.shutdown_now()
+
+
+class TestSubmit:
+    def test_submit_returns_result(self, pool):
+        assert pool.submit(lambda: 21 * 2).get(timeout=2) == 42
+
+    def test_submit_with_args(self, pool):
+        assert pool.submit(lambda a, b=1: a + b, 4, b=5).get(timeout=2) == 9
+
+    def test_tasks_run_on_pool_threads(self, pool):
+        f = pool.submit(lambda: threading.current_thread().name)
+        assert f.get(timeout=2).startswith("test-pool-")
+
+    def test_parallel_threads(self, pool):
+        barrier = threading.Barrier(3, timeout=2)
+        futures = [pool.submit(barrier.wait) for _ in range(3)]
+        for f in futures:
+            f.get(timeout=2)  # would deadlock if not parallel
+
+    def test_exception_surfaces_on_get(self, pool):
+        from repro.core import RegionFailedError
+
+        f = pool.submit(lambda: 1 / 0)
+        with pytest.raises(RegionFailedError):
+            f.get(timeout=2)
+
+    def test_execute_fire_and_forget(self, pool):
+        done = threading.Event()
+        pool.execute(done.set)
+        assert done.wait(timeout=2)
+
+    def test_invoke_all(self, pool):
+        futures = pool.invoke_all([lambda i=i: i * i for i in range(6)], timeout=5)
+        assert [f.get(timeout=1) for f in futures] == [0, 1, 4, 9, 16, 25]
+
+    def test_queue_length_under_saturation(self, pool):
+        gate = threading.Event()
+        for _ in range(3):
+            pool.submit(gate.wait)
+        time.sleep(0.05)
+        for _ in range(5):
+            pool.submit(lambda: None)
+        assert pool.queue_length >= 4
+        assert pool.active_count == 3
+        gate.set()
+
+
+class TestShutdown:
+    def test_submit_after_shutdown_raises(self, pool):
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_shutdown_drains_queue_first(self):
+        p = ExecutorService(1)
+        results = []
+        for i in range(5):
+            p.submit(lambda i=i: results.append(i))
+        p.shutdown()
+        assert p.await_termination(timeout=5)
+        assert results == [0, 1, 2, 3, 4]
+
+    def test_shutdown_now_cancels_queued(self):
+        p = ExecutorService(1)
+        gate = threading.Event()
+        p.submit(gate.wait)
+        time.sleep(0.02)
+        queued = [p.submit(lambda: None) for _ in range(4)]
+        dropped = p.shutdown_now()
+        assert len(dropped) == 4
+        assert all(not f.is_done() or f._region.state.name == "CANCELLED" for f in queued)
+        gate.set()
+        assert p.await_termination(timeout=5)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            ExecutorService(0)
+
+    def test_factory_function(self):
+        p = new_fixed_thread_pool(2, "factory")
+        try:
+            assert p.submit(lambda: "ok").get(timeout=2) == "ok"
+        finally:
+            p.shutdown_now()
+
+
+class TestThreadPerRequest:
+    def test_every_task_gets_new_thread(self):
+        ex = ThreadPerRequestExecutor()
+        names = [ex.submit(lambda: threading.current_thread().name).get(timeout=2) for _ in range(4)]
+        assert len(set(names)) == 4
+        assert ex.spawned == 4
+
+    def test_result_delivery(self):
+        ex = ThreadPerRequestExecutor()
+        assert ex.submit(lambda x: x + 1, 41).get(timeout=2) == 42
+
+    def test_cancel_before_run_is_racy_but_safe(self):
+        ex = ThreadPerRequestExecutor()
+        f = ex.submit(lambda: "ran")
+        f.cancel()  # either cancels or the task already ran; must not hang
+        f._region.wait(timeout=2)

@@ -1,0 +1,115 @@
+"""Tests for EDT-confined mock widgets."""
+
+import pytest
+
+from repro.core import PjRuntime
+from repro.eventloop import Button, EDTViolationError, EventLoop, Label, Panel, ProgressBar
+
+
+@pytest.fixture()
+def loop():
+    rt = PjRuntime()
+    l = EventLoop(rt, "edt")
+    yield l
+    rt.shutdown(wait=False)
+
+
+class TestEDTConfinement:
+    def test_label_rejects_foreign_thread(self, loop):
+        label = Label(loop)
+        with pytest.raises(EDTViolationError) as ei:
+            label.set_text("hello")
+        assert "invoke_later" in str(ei.value)
+
+    def test_label_accepts_edt(self, loop):
+        label = Label(loop)
+        loop.invoke_and_wait(lambda: label.set_text("hello"))
+        assert label.text == "hello"
+        assert label.journal == [("set_text", "hello")]
+
+    def test_panel_collect_input_confined(self, loop):
+        panel = Panel(loop)
+        with pytest.raises(EDTViolationError):
+            panel.collect_input()
+        loop.invoke_and_wait(lambda: panel.set_input({"q": 1}))
+        assert loop.invoke_and_wait(panel.collect_input) == {"q": 1}
+
+    def test_progressbar_confined_and_validated(self, loop):
+        bar = ProgressBar(loop)
+        with pytest.raises(EDTViolationError):
+            bar.set_value(10)
+        loop.invoke_and_wait(lambda: bar.set_value(55))
+        assert bar.value == 55
+        from repro.core import RegionFailedError
+
+        with pytest.raises(RegionFailedError) as ei:
+            loop.invoke_and_wait(lambda: bar.set_value(101))
+        assert isinstance(ei.value.cause, ValueError)
+
+
+class TestButton:
+    def test_click_triggers_handler_on_edt(self, loop):
+        button = Button(loop, "go")
+        label = Label(loop)
+        button.on_click(lambda ev: label.set_text("clicked"))
+        button.click()
+        assert loop.wait_all_finished()
+        assert label.text == "clicked"
+
+    def test_click_payload(self, loop):
+        button = Button(loop)
+        seen = []
+        button.on_click(lambda ev: seen.append(ev.payload))
+        button.click(payload="data")
+        assert loop.wait_all_finished()
+        assert seen == ["data"]
+
+    def test_click_returns_record(self, loop):
+        button = Button(loop)
+        button.on_click(lambda ev: None)
+        rec = button.click()
+        assert loop.wait_all_finished()
+        assert rec.response_time is not None
+
+
+class TestPanel:
+    def test_message_and_image_journal(self, loop):
+        panel = Panel(loop)
+
+        def updates():
+            panel.show_msg("start")
+            panel.display_img("img-bytes")
+            panel.show_msg("end")
+
+        loop.invoke_and_wait(updates)
+        assert panel.messages == ["start", "end"]
+        assert panel.images == ["img-bytes"]
+        assert [op for op, _ in panel.journal] == ["show_msg", "display_img", "show_msg"]
+
+
+class TestIntegrationWithVirtualTargets:
+    def test_worker_offload_updates_gui_via_edt_target(self, loop):
+        """The Figure 6 pattern: handler offloads to a worker, GUI updates
+        come back through `target virtual(edt)`."""
+        rt = loop.runtime
+        rt.create_worker("worker", 2)
+        panel = Panel(loop)
+        button = Button(loop)
+
+        @EventLoop.defer_completion
+        def handler(ev):
+            rec = ev.record
+
+            def background():
+                result = sum(range(1000))  # the "download and compute"
+                def update():
+                    panel.show_msg(f"Finished: {result}")
+                    rec.mark_finished()
+                rt.invoke_target_block("edt", update, "nowait")
+
+            rt.invoke_target_block("worker", background, "nowait")
+
+        button.on_click(handler)
+        button.click()
+        assert loop.wait_all_finished(timeout=5)
+        assert panel.messages == [f"Finished: {sum(range(1000))}"]

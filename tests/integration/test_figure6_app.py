@@ -1,0 +1,116 @@
+"""Integration: the paper's Figure 6 application, end to end on real threads.
+
+Compiled pragma code + the Swing-like event loop + EDT-confined widgets +
+worker virtual targets, all cooperating the way the paper's semantic example
+describes.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.compiler import exec_omp
+from repro.core import PjRuntime
+from repro.eventloop import Button, EventLoop, Panel
+
+
+@pytest.fixture()
+def app():
+    rt = PjRuntime()
+    loop = EventLoop(rt, "edt")
+    rt.create_worker("worker", 3)
+    yield rt, loop
+    rt.shutdown(wait=False)
+
+
+FIGURE6_SOURCE = '''
+def make_handler(panel, get_hash_code, network_download, format_convert):
+    def button_on_click(event):
+        panel.show_msg("Started EDT handling")
+        info = panel.collect_input()
+        #omp target virtual(worker) nowait
+        if True:
+            hscode = get_hash_code(info)
+            buf = network_download(hscode)
+            img = format_convert(buf)
+            #omp target virtual(edt) nowait
+            if True:
+                panel.display_img(img)
+                panel.show_msg("Finished!")
+                event.record.mark_finished()
+    return button_on_click
+'''
+
+
+class TestFigure6:
+    def test_full_flow(self, app):
+        rt, loop = app
+        panel = Panel(loop)
+        button = Button(loop)
+        threads = {}
+
+        def get_hash_code(info):
+            threads["hash"] = threading.current_thread()
+            return hash(str(info)) & 0xFFFF
+
+        def network_download(hs):
+            time.sleep(0.02)  # simulated I/O
+            return bytes(str(hs), "ascii")
+
+        def format_convert(buf):
+            threads["convert"] = threading.current_thread()
+            return f"image<{buf.decode()}>"
+
+        ns = exec_omp(FIGURE6_SOURCE, runtime=rt)
+        handler = ns["make_handler"](
+            panel, get_hash_code, network_download, format_convert
+        )
+        loop.invoke_and_wait(lambda: panel.set_input({"query": "cat"}))
+        button.on_click(EventLoop.defer_completion(handler))
+        rec = button.click()
+
+        assert loop.wait_all_finished(timeout=10)
+        # Messages in program order; widget ops all on the EDT (no
+        # EDTViolationError raised), compute on the worker.
+        assert panel.messages == ["Started EDT handling", "Finished!"]
+        assert len(panel.images) == 1
+        assert threads["hash"].name.startswith("pyjama-worker-")
+        assert threads["convert"].name.startswith("pyjama-worker-")
+        assert rec.response_time > 0.02  # includes the download
+
+    def test_edt_responsive_while_downloading(self, app):
+        """Fire a second, cheap event while the first is mid-download: it
+        must complete long before the first one finishes."""
+        rt, loop = app
+        panel = Panel(loop)
+        slow_button = Button(loop, "slow")
+        quick_button = Button(loop, "quick")
+
+        release = threading.Event()
+
+        ns = exec_omp(FIGURE6_SOURCE, runtime=rt)
+        handler = ns["make_handler"](
+            panel,
+            lambda info: 1,
+            lambda hs: (release.wait(5), b"data")[1],
+            lambda buf: "img",
+        )
+        slow_button.on_click(EventLoop.defer_completion(handler))
+        quick_times = []
+        quick_button.on_click(lambda ev: quick_times.append(time.perf_counter()))
+
+        loop.invoke_and_wait(lambda: panel.set_input("x"))
+        slow_rec = slow_button.click()
+        time.sleep(0.05)
+        t_fire = time.perf_counter()
+        quick_button.click()
+
+        deadline = time.monotonic() + 5
+        while not quick_times and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert quick_times, "quick event never handled"
+        assert quick_times[0] - t_fire < 0.5
+        assert slow_rec.finished_at is None  # still blocked on the download
+        release.set()
+        assert loop.wait_all_finished(timeout=5)

@@ -1,0 +1,159 @@
+"""Integration: coexistence of the event-driven and fork-join models.
+
+The paper's thesis is that the two models combine: `target virtual` for
+asynchronous offloading, classic `parallel`/`for` for acceleration inside
+the offloaded block (asynchronous parallel), with kernels as the payload.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.compiler import exec_omp
+from repro.core import PjRuntime, SchedulingMode
+from repro.kernels import crypt, get_kernel
+import repro.openmp as omp
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    runtime.start_edt("edt")
+    runtime.create_worker("worker", 4)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+class TestAsyncParallel:
+    def test_offloaded_parallel_kernel_api(self, rt):
+        """Asynchronous-parallel with the library API: worker target block
+        forks a team that splits the Crypt kernel."""
+        key = crypt.generate_key()
+        ek = crypt.encryption_subkeys(key)
+        data = np.arange(8 * 64, dtype=np.uint8) % 251
+        expected = crypt.encrypt(data, ek)
+        out = np.zeros_like(data)
+        edt_blocked = []
+
+        def handler():
+            def offloaded():
+                def team_body():
+                    tid = omp.omp_get_thread_num()
+                    n = omp.omp_get_num_threads()
+                    s = crypt.block_slices(data.size, n)[tid]
+                    out[s] = crypt.encrypt(data[s], ek)
+
+                omp.parallel(team_body, num_threads=4)
+
+            rt.invoke_target_block("worker", offloaded, SchedulingMode.AWAIT)
+            edt_blocked.append(False)
+
+        rt.invoke_target_block("edt", handler)
+        assert np.array_equal(out, expected)
+        assert edt_blocked == [False]
+
+    def test_offloaded_parallel_kernel_pragmas(self, rt):
+        """The same pattern via compiled pragmas."""
+        src = '''
+def run(spec, size):
+    results = {}
+    #omp target virtual(worker)
+    if True:
+        partials = [None] * 4
+        # tid must be private: it is per-thread state, exactly as in OpenMP.
+        #omp parallel num_threads(4) private(tid)
+        if True:
+            import repro.openmp as _omp
+            tid = _omp.omp_get_thread_num()
+            partials[tid] = spec.run_chunk(size, tid, 4)
+        results["partials"] = partials
+    return results
+'''
+        ns = exec_omp(src, runtime=rt)
+        spec = get_kernel("series")
+        size = spec.sizes["A"]
+        result = ns["run"](spec, size)
+        stitched = np.concatenate(result["partials"])
+        assert np.allclose(stitched, spec.run_sequential(size))
+
+    def test_parallel_region_inside_worker_has_fresh_team(self, rt):
+        """omp thread numbering is per-team even on pool threads."""
+        seen = {}
+
+        def offloaded():
+            def body():
+                seen.setdefault(threading.current_thread().name, set()).add(
+                    omp.omp_get_thread_num()
+                )
+
+            omp.parallel(body, num_threads=3)
+
+        rt.invoke_target_block("worker", offloaded)
+        all_tids = set().union(*seen.values())
+        assert all_tids == {0, 1, 2}
+
+
+class TestEventStormWithTags:
+    def test_many_tagged_events_join_correctly(self, rt):
+        """A burst of events each spawning tagged work; wait(tag) sees all."""
+        counter = {"n": 0}
+        lock = threading.Lock()
+
+        def fire_event(i):
+            def tagged_work():
+                time.sleep(0.001)
+                with lock:
+                    counter["n"] += 1
+
+            rt.invoke_target_block("worker", tagged_work, "name_as", tag="storm")
+
+        for i in range(25):
+            rt.invoke_target_block("edt", lambda i=i: fire_event(i), "nowait")
+        deadline = time.monotonic() + 5
+        while rt.tags.outstanding("storm") < 1 and counter["n"] < 25:
+            if time.monotonic() > deadline:
+                break
+            time.sleep(0.005)
+        rt.wait_tag("storm", timeout=10)
+        # All events fired their work and every tagged block finished.
+        deadline = time.monotonic() + 5
+        while counter["n"] < 25 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert counter["n"] == 25
+
+
+class TestKernelsOnVirtualTargets:
+    @pytest.mark.parametrize("name", ["crypt", "series", "montecarlo", "raytracer"])
+    def test_kernel_offload_matches_sequential(self, rt, name):
+        """Every paper kernel computes identically on a worker target."""
+        spec = get_kernel(name)
+        size = spec.sizes["A"]
+        seq = spec.run_sequential(size)
+        handle = rt.invoke_target_block(
+            "worker", lambda: spec.run_sequential(size), "nowait"
+        )
+        offloaded = handle.result(timeout=60)
+        if isinstance(seq, np.ndarray):
+            assert np.allclose(seq, offloaded)
+        else:
+            assert seq == offloaded
+
+    def test_chunked_kernel_over_tag_group(self, rt):
+        """Chunk fan-out with name_as/wait — the event-driven spelling of a
+        worksharing loop."""
+        spec = get_kernel("crypt")
+        size = spec.sizes["A"]
+        chunks = [None] * 4
+
+        for i in range(4):
+            rt.invoke_target_block(
+                "worker",
+                lambda i=i: chunks.__setitem__(i, spec.run_chunk(size, i, 4)),
+                "name_as",
+                tag="chunks",
+            )
+        rt.wait_tag("chunks", timeout=60)
+        stitched = np.concatenate(chunks)
+        assert np.array_equal(stitched, spec.run_sequential(size))

@@ -1,0 +1,135 @@
+"""Tests for the IDEA Crypt kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import crypt
+
+
+@pytest.fixture(scope="module")
+def keys():
+    user = crypt.generate_key()
+    ek = crypt.encryption_subkeys(user)
+    dk = crypt.decryption_subkeys(ek)
+    return ek, dk
+
+
+class TestKeySchedule:
+    def test_subkey_count_and_range(self, keys):
+        ek, dk = keys
+        assert ek.shape == (52,)
+        assert dk.shape == (52,)
+        assert (ek <= 0xFFFF).all()
+        assert (dk <= 0xFFFF).all()
+
+    def test_first_eight_subkeys_are_user_key(self):
+        user = crypt.generate_key(seed=7)
+        ek = crypt.encryption_subkeys(user)
+        assert np.array_equal(ek[:8], user)
+
+    def test_generate_key_deterministic(self):
+        assert np.array_equal(crypt.generate_key(5), crypt.generate_key(5))
+        assert not np.array_equal(crypt.generate_key(5), crypt.generate_key(6))
+
+    def test_bad_key_shape_rejected(self):
+        with pytest.raises(ValueError):
+            crypt.encryption_subkeys(np.zeros(7, dtype=np.uint32))
+        with pytest.raises(ValueError):
+            crypt.decryption_subkeys(np.zeros(10, dtype=np.uint32))
+
+    def test_double_inversion_is_identity(self, keys):
+        ek, dk = keys
+        assert np.array_equal(crypt.decryption_subkeys(dk), ek)
+
+
+class TestCipher:
+    def test_roundtrip(self, keys):
+        ek, dk = keys
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=8 * 500, dtype=np.uint8)
+        assert np.array_equal(crypt.decrypt(crypt.encrypt(data, ek), dk), data)
+
+    def test_ciphertext_differs_from_plaintext(self, keys):
+        ek, _ = keys
+        data = np.zeros(8 * 100, dtype=np.uint8)
+        assert not np.array_equal(crypt.encrypt(data, ek), data)
+
+    def test_deterministic(self, keys):
+        ek, _ = keys
+        data = np.arange(80, dtype=np.uint8)
+        assert np.array_equal(crypt.encrypt(data, ek), crypt.encrypt(data, ek))
+
+    def test_key_sensitivity(self):
+        data = np.arange(64, dtype=np.uint8)
+        ct1 = crypt.encrypt(data, crypt.encryption_subkeys(crypt.generate_key(1)))
+        ct2 = crypt.encrypt(data, crypt.encryption_subkeys(crypt.generate_key(2)))
+        assert not np.array_equal(ct1, ct2)
+
+    def test_block_independence(self, keys):
+        # ECB mode: identical blocks encrypt identically, different blocks
+        # can be processed in any partition -> parallelisable.
+        ek, _ = keys
+        block = np.arange(8, dtype=np.uint8)
+        two = np.concatenate([block, block])
+        ct = crypt.encrypt(two, ek)
+        assert np.array_equal(ct[:8], ct[8:])
+
+    def test_rejects_unaligned_length(self, keys):
+        ek, _ = keys
+        with pytest.raises(ValueError):
+            crypt.encrypt(np.zeros(7, dtype=np.uint8), ek)
+
+    def test_rejects_wrong_dtype(self, keys):
+        ek, _ = keys
+        with pytest.raises(ValueError):
+            crypt.encrypt(np.zeros(8, dtype=np.int32), ek)
+
+    def test_cipher_shape_check(self, keys):
+        ek, _ = keys
+        with pytest.raises(ValueError):
+            crypt.idea_cipher(np.zeros((4, 3), dtype=np.uint32), ek)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, seed, n_blocks):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, size=8 * n_blocks, dtype=np.uint8)
+        user = crypt.generate_key(seed)
+        ek = crypt.encryption_subkeys(user)
+        dk = crypt.decryption_subkeys(ek)
+        assert np.array_equal(crypt.decrypt(crypt.encrypt(data, ek), dk), data)
+
+
+class TestChunking:
+    def test_block_slices_cover_range(self):
+        slices = crypt.block_slices(8 * 10, 3)
+        covered = []
+        for s in slices:
+            assert s.start % 8 == 0 and s.stop % 8 == 0
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(80))
+
+    def test_block_slices_reject_unaligned(self):
+        with pytest.raises(ValueError):
+            crypt.block_slices(81, 3)
+
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 7, 16])
+    def test_chunked_encrypt_matches_sequential(self, keys, n_chunks):
+        ek, _ = keys
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, size=8 * 128, dtype=np.uint8)
+        whole = crypt.encrypt(data, ek)
+        stitched = np.empty_like(data)
+        for s, chunk in crypt.encrypt_chunks(data, ek, n_chunks):
+            stitched[s] = chunk
+        assert np.array_equal(stitched, whole)
+
+    def test_more_chunks_than_blocks(self, keys):
+        ek, _ = keys
+        data = np.arange(16, dtype=np.uint8)  # 2 blocks
+        stitched = np.empty_like(data)
+        for s, chunk in crypt.encrypt_chunks(data, ek, 5):
+            stitched[s] = chunk
+        assert np.array_equal(stitched, crypt.encrypt(data, ek))

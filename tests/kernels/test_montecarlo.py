@@ -1,0 +1,89 @@
+"""Tests for the MonteCarlo stock-path kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import montecarlo as mc
+
+
+class TestSimulation:
+    def test_parameter_recovery(self):
+        cfg = mc.MonteCarloConfig(n_paths=400)
+        res = mc.run(cfg)
+        assert res.n_paths == 400
+        assert res.mean_sigma == pytest.approx(cfg.sigma, abs=0.02)
+        assert res.mean_mu == pytest.approx(cfg.mu, abs=0.3)  # mu has high MC noise
+
+    def test_final_price_near_analytic_mean(self):
+        cfg = mc.MonteCarloConfig(n_paths=800)
+        res = mc.run(cfg)
+        horizon = cfg.n_steps * cfg.dt
+        analytic = cfg.s0 * np.exp(cfg.mu * horizon)
+        assert res.mean_final_price == pytest.approx(analytic, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        cfg = mc.MonteCarloConfig(n_paths=50)
+        assert mc.run(cfg) == mc.run(cfg)
+
+    def test_seed_changes_result(self):
+        a = mc.run(mc.MonteCarloConfig(n_paths=50, seed=1))
+        b = mc.run(mc.MonteCarloConfig(n_paths=50, seed=2))
+        assert a != b
+
+    def test_empty_range(self):
+        cfg = mc.MonteCarloConfig()
+        res = mc.simulate_paths(cfg, 0, 0)
+        assert res.n_paths == 0
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 8])
+    def test_chunked_combine_matches_sequential(self, n_chunks):
+        cfg = mc.MonteCarloConfig(n_paths=120)
+        whole = mc.run(cfg)
+        parts = [
+            mc.simulate_paths(cfg, first, count)
+            for first, count in mc.path_chunks(cfg, n_chunks)
+        ]
+        combined = parts[0]
+        for p in parts[1:]:
+            combined = combined.combine(p)
+        assert combined.n_paths == whole.n_paths
+        assert combined.mean_mu == pytest.approx(whole.mean_mu, rel=1e-9)
+        assert combined.mean_sigma == pytest.approx(whole.mean_sigma, rel=1e-9)
+        assert combined.mean_final_price == pytest.approx(whole.mean_final_price, rel=1e-9)
+
+    def test_path_chunks_partition(self):
+        cfg = mc.MonteCarloConfig(n_paths=10)
+        chunks = mc.path_chunks(cfg, 3)
+        covered = sorted(i for first, count in chunks for i in range(first, first + count))
+        assert covered == list(range(10))
+
+    def test_combine_with_empty(self):
+        cfg = mc.MonteCarloConfig(n_paths=30)
+        res = mc.run(cfg)
+        empty = mc.PathResult(0.0, 0.0, 0.0, 0)
+        assert res.combine(empty) == res
+        assert empty.combine(res) == res
+        assert empty.combine(empty).n_paths == 0
+
+    def test_combine_is_weighted(self):
+        a = mc.PathResult(mean_mu=1.0, mean_sigma=1.0, mean_final_price=10.0, n_paths=1)
+        b = mc.PathResult(mean_mu=3.0, mean_sigma=3.0, mean_final_price=30.0, n_paths=3)
+        c = a.combine(b)
+        assert c.mean_mu == pytest.approx(2.5)
+        assert c.mean_final_price == pytest.approx(25.0)
+        assert c.n_paths == 4
+
+    def test_partition_invariance(self):
+        """Per-path RNG streams mean any chunking yields identical results."""
+        cfg = mc.MonteCarloConfig(n_paths=40)
+        by2 = [mc.simulate_paths(cfg, f, c) for f, c in mc.path_chunks(cfg, 2)]
+        by5 = [mc.simulate_paths(cfg, f, c) for f, c in mc.path_chunks(cfg, 5)]
+        acc2 = by2[0]
+        for p in by2[1:]:
+            acc2 = acc2.combine(p)
+        acc5 = by5[0]
+        for p in by5[1:]:
+            acc5 = acc5.combine(p)
+        assert acc2.mean_final_price == pytest.approx(acc5.mean_final_price, rel=1e-9)

@@ -1,0 +1,128 @@
+"""Tests for the RayTracer kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import raytracer as rt
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return rt.default_scene()
+
+
+class TestScene:
+    def test_default_scene_has_64_spheres(self, scene):
+        assert len(scene.spheres) == 64
+
+    def test_scene_deterministic(self):
+        a, b = rt.default_scene(), rt.default_scene()
+        assert [s.center for s in a.spheres] == [s.center for s in b.spheres]
+        assert [s.color for s in a.spheres] == [s.color for s in b.spheres]
+
+    def test_custom_sphere_count(self):
+        assert len(rt.default_scene(10).spheres) == 10
+        assert len(rt.default_scene(70).spheres) == 70
+
+    def test_arrays_shapes(self, scene):
+        centers, radii, colors, refl, spec = scene.arrays()
+        n = len(scene.spheres)
+        assert centers.shape == (n, 3)
+        assert radii.shape == (n,)
+        assert colors.shape == (n, 3)
+        assert refl.shape == (n,)
+        assert spec.shape == (n,)
+
+
+class TestRendering:
+    def test_output_shape_and_range(self, scene):
+        img = rt.render(scene, width=24, height=16)
+        assert img.shape == (16, 24, 3)
+        assert (img >= 0.0).all() and (img <= 1.0).all()
+
+    def test_image_not_all_background(self, scene):
+        img = rt.render(scene, width=32, height=32)
+        bg = np.array(scene.background)
+        assert (np.abs(img - bg).sum(axis=2) > 0.05).any()
+
+    def test_deterministic(self, scene):
+        a = rt.render(scene, 16, 16)
+        b = rt.render(scene, 16, 16)
+        assert np.array_equal(a, b)
+
+    def test_checksum_positive(self, scene):
+        img = rt.render(scene, 16, 16)
+        assert 0.0 < rt.checksum(img) < img.size
+
+    def test_empty_scene_renders_background(self):
+        empty = rt.Scene(spheres=[rt.Sphere((0, 0, 100.0), 0.001, (1, 1, 1))])
+        # One tiny far-away sphere: nearly every pixel is background.
+        img = rt.render(empty, 8, 8)
+        bg = np.array(empty.background)
+        frac_bg = (np.abs(img - bg).sum(axis=2) < 1e-9).mean()
+        assert frac_bg > 0.9
+
+    def test_reflection_depth_changes_image(self, scene):
+        import dataclasses
+
+        flat = dataclasses.replace(scene, max_depth=0)
+        deep = dataclasses.replace(scene, max_depth=2)
+        assert not np.array_equal(rt.render(flat, 24, 24), rt.render(deep, 24, 24))
+
+
+class TestRowDecomposition:
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 5])
+    def test_rows_match_full_render(self, scene, n_chunks):
+        h = w = 20
+        whole = rt.render(scene, w, h)
+        stitched = np.empty_like(whole)
+        base, extra = divmod(h, n_chunks)
+        start = 0
+        for i in range(n_chunks):
+            size = base + (1 if i < extra else 0)
+            stitched[start : start + size] = rt.render_rows(
+                scene, w, h, slice(start, start + size)
+            )
+            start += size
+        assert np.array_equal(stitched, whole)
+
+    def test_single_row(self, scene):
+        row = rt.render_rows(scene, 16, 16, slice(7, 8))
+        assert row.shape == (1, 16, 3)
+
+
+class TestIntersection:
+    def test_direct_hit(self):
+        origins = np.array([[0.0, 0.0, -5.0]])
+        dirs = np.array([[0.0, 0.0, 1.0]])
+        centers = np.array([[0.0, 0.0, 0.0]])
+        radii = np.array([1.0])
+        t, idx = rt._intersect(origins, dirs, centers, radii)
+        assert idx[0] == 0
+        assert t[0] == pytest.approx(4.0)
+
+    def test_miss(self):
+        origins = np.array([[0.0, 0.0, -5.0]])
+        dirs = np.array([[0.0, 1.0, 0.0]])
+        centers = np.array([[0.0, 0.0, 0.0]])
+        radii = np.array([1.0])
+        t, idx = rt._intersect(origins, dirs, centers, radii)
+        assert idx[0] == -1
+        assert np.isinf(t[0])
+
+    def test_nearest_of_two(self):
+        origins = np.array([[0.0, 0.0, -5.0]])
+        dirs = np.array([[0.0, 0.0, 1.0]])
+        centers = np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 3.0]])
+        radii = np.array([1.0, 1.0])
+        t, idx = rt._intersect(origins, dirs, centers, radii)
+        assert idx[0] == 0
+
+    def test_inside_sphere_uses_far_root(self):
+        origins = np.array([[0.0, 0.0, 0.0]])
+        dirs = np.array([[0.0, 0.0, 1.0]])
+        centers = np.array([[0.0, 0.0, 0.0]])
+        radii = np.array([2.0])
+        t, idx = rt._intersect(origins, dirs, centers, radii)
+        assert idx[0] == 0
+        assert t[0] == pytest.approx(2.0)

@@ -1,0 +1,83 @@
+"""Tests for the Series (Fourier coefficients) kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import series
+
+
+class TestAccuracy:
+    def test_against_frozen_reference(self):
+        got = series.fourier_coefficients(4)
+        for j, (a, b) in series.reference_first_coefficients().items():
+            assert got[j, 0] == pytest.approx(a, abs=5e-3)
+            assert got[j, 1] == pytest.approx(b, abs=5e-3)
+
+    def test_against_scipy_quad(self):
+        quad = pytest.importorskip("scipy.integrate").quad
+        f = lambda x: (x + 1) ** x  # noqa: E731
+        got = series.fourier_coefficients(3)
+        for j in range(1, 3):
+            a = quad(lambda x: f(x) * np.cos(j * np.pi * x), 0, 2, limit=200)[0]
+            b = quad(lambda x: f(x) * np.sin(j * np.pi * x), 0, 2, limit=200)[0]
+            assert got[j, 0] == pytest.approx(a, abs=5e-3)
+            assert got[j, 1] == pytest.approx(b, abs=5e-3)
+
+    def test_a0_is_interval_mean(self):
+        got = series.fourier_coefficients(1)
+        x = np.linspace(0, 2, 100001)
+        mean = np.trapezoid((x + 1) ** x, x) / 2.0
+        assert got[0, 0] == pytest.approx(mean, abs=1e-4)
+        assert got[0, 1] == 0.0
+
+    def test_more_points_converges(self):
+        coarse = series.fourier_coefficients(3, points=100)
+        fine = series.fourier_coefficients(3, points=10000)
+        ref = series.reference_first_coefficients()
+        for j in range(1, 3):
+            err_c = abs(coarse[j, 0] - ref[j][0])
+            err_f = abs(fine[j, 0] - ref[j][0])
+            assert err_f <= err_c
+
+    def test_coefficients_decay(self):
+        # Fourier coefficients of an absolutely continuous function decay.
+        got = series.fourier_coefficients(30)
+        mags = np.hypot(got[1:, 0], got[1:, 1])
+        assert mags[-1] < mags[0]
+
+
+class TestDecomposition:
+    def test_range_shape(self):
+        out = series.coefficient_range(5, 9)
+        assert out.shape == (4, 2)
+
+    def test_empty_range(self):
+        assert series.coefficient_range(3, 3).shape == (0, 2)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            series.coefficient_range(5, 2)
+        with pytest.raises(ValueError):
+            series.coefficient_range(-1, 2)
+
+    @pytest.mark.parametrize("n,n_chunks", [(10, 1), (10, 3), (10, 10), (7, 4)])
+    def test_chunks_match_sequential(self, n, n_chunks):
+        whole = series.fourier_coefficients(n)
+        stitched = np.empty_like(whole)
+        for s, part in series.coefficient_chunks(n, n_chunks):
+            stitched[s] = part
+        assert np.allclose(stitched, whole)
+
+    def test_chunks_skip_empty(self):
+        chunks = series.coefficient_chunks(2, 5)
+        assert len(chunks) == 2
+
+    @given(st.integers(min_value=1, max_value=24), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=15, deadline=None)
+    def test_chunk_cover_property(self, n, n_chunks):
+        covered = sorted(
+            i for s, _ in series.coefficient_chunks(n, n_chunks) for i in range(s.start, s.stop)
+        )
+        assert covered == list(range(n))

@@ -1,0 +1,117 @@
+"""Tests for the SOR extension kernel (phase-parallel structure)."""
+
+import numpy as np
+import pytest
+
+import repro.openmp as omp
+from repro.kernels import sor
+
+
+class TestGrid:
+    def test_deterministic(self):
+        assert np.array_equal(sor.initial_grid(16), sor.initial_grid(16))
+
+    def test_seed_sensitivity(self):
+        assert not np.array_equal(sor.initial_grid(16, seed=1), sor.initial_grid(16, seed=2))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            sor.initial_grid(2)
+
+
+class TestSweeps:
+    def test_red_sweep_touches_only_red_interior(self):
+        grid = sor.initial_grid(10)
+        before = grid.copy()
+        sor.sweep_color(grid, sor.RED)
+        changed = grid != before
+        rows, cols = np.nonzero(changed)
+        # only interior cells
+        assert rows.min() >= 1 and rows.max() <= 8
+        assert cols.min() >= 1 and cols.max() <= 8
+        # only red-parity cells
+        assert np.all((rows + cols) % 2 == sor.RED)
+
+    def test_black_sweep_parity(self):
+        grid = sor.initial_grid(10)
+        before = grid.copy()
+        sor.sweep_color(grid, sor.BLACK)
+        rows, cols = np.nonzero(grid != before)
+        assert np.all((rows + cols) % 2 == sor.BLACK)
+
+    def test_boundary_never_changes(self):
+        grid = sor.initial_grid(12)
+        boundary = np.concatenate([grid[0], grid[-1], grid[:, 0], grid[:, -1]]).copy()
+        out = sor.run(12, iterations=5)
+        init = sor.initial_grid(12)
+        assert np.array_equal(out[0], init[0])
+        assert np.array_equal(out[-1], init[-1])
+        assert np.array_equal(out[:, 0], init[:, 0])
+        assert np.array_equal(out[:, -1], init[:, -1])
+        assert boundary.shape  # silence unused warning
+
+    def test_invalid_color(self):
+        with pytest.raises(ValueError):
+            sor.sweep_color(sor.initial_grid(8), 2)
+
+    def test_band_decomposition_matches_full_sweep(self):
+        """Disjoint row bands of one color commute — the worksharing axis."""
+        full = sor.initial_grid(20)
+        sor.sweep_color(full, sor.RED)
+        banded = sor.initial_grid(20)
+        for start, stop in ((1, 7), (7, 13), (13, 19)):
+            sor.sweep_color_rows(banded, sor.RED, start, stop)
+        assert np.allclose(full, banded)
+
+    def test_band_order_irrelevant(self):
+        a = sor.initial_grid(16)
+        b = sor.initial_grid(16)
+        sor.sweep_color_rows(a, sor.BLACK, 1, 8)
+        sor.sweep_color_rows(a, sor.BLACK, 8, 15)
+        sor.sweep_color_rows(b, sor.BLACK, 8, 15)
+        sor.sweep_color_rows(b, sor.BLACK, 1, 8)
+        assert np.allclose(a, b)
+
+    def test_empty_band_noop(self):
+        grid = sor.initial_grid(8)
+        before = grid.copy()
+        sor.sweep_color_rows(grid, sor.RED, 5, 5)
+        assert np.array_equal(grid, before)
+
+
+class TestConvergence:
+    def test_residual_decreases(self):
+        def residual(g):
+            nb = 0.25 * (g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:])
+            return float(np.abs(g[1:-1, 1:-1] - nb).mean())
+
+        r0 = residual(sor.initial_grid(32))
+        r1 = residual(sor.run(32, iterations=5))
+        r2 = residual(sor.run(32, iterations=40))
+        assert r1 < r0
+        assert r2 < r1
+
+    def test_checksum_finite(self):
+        assert np.isfinite(sor.checksum(sor.run(16)))
+
+
+class TestWithOpenMP:
+    def test_parallel_red_black_iteration_matches_sequential(self):
+        """The natural omp usage: bands in `for_loop` (implied barrier
+        separates the red and black phases)."""
+        n, iters = 24, 4
+        expected = sor.run(n, iterations=iters)
+        grid = sor.initial_grid(n)
+        bands = [(1, 9), (9, 17), (17, 23)]
+
+        def body():
+            for _ in range(iters):
+                omp.for_loop(
+                    bands, lambda b: sor.sweep_color_rows(grid, sor.RED, b[0], b[1])
+                )
+                omp.for_loop(
+                    bands, lambda b: sor.sweep_color_rows(grid, sor.BLACK, b[0], b[1])
+                )
+
+        omp.parallel(body, num_threads=3)
+        assert np.allclose(grid, expected)

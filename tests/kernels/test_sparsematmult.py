@@ -1,0 +1,104 @@
+"""Tests for the SparseMatMult extension kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.openmp as omp
+from repro.kernels import sparsematmult as sp
+
+
+class TestCsr:
+    def test_random_deterministic(self):
+        a, b = sp.random_csr(50, seed=3), sp.random_csr(50, seed=3)
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_structure_valid(self):
+        m = sp.random_csr(100)
+        assert m.row_ptr[0] == 0
+        assert m.row_ptr[-1] == m.nnz
+        assert (np.diff(m.row_ptr) >= 0).all()
+        assert (m.col_idx < m.n_cols).all()
+
+    def test_skew_produces_uneven_rows(self):
+        m = sp.random_csr(300, skew=3.0)
+        lengths = np.diff(m.row_ptr)
+        assert lengths.max() > 3 * max(1, int(np.median(lengths)))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            sp.CsrMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            sp.random_csr(0)
+
+    def test_to_dense_shape(self):
+        m = sp.random_csr(20)
+        assert m.to_dense().shape == (20, 20)
+
+
+class TestMatvec:
+    def test_matches_dense(self):
+        m = sp.random_csr(80, seed=5)
+        x = np.random.default_rng(1).standard_normal(80)
+        assert np.allclose(sp.matvec(m, x), m.to_dense() @ x)
+
+    def test_wrong_vector_size(self):
+        m = sp.random_csr(10)
+        with pytest.raises(ValueError):
+            sp.matvec(m, np.zeros(11))
+
+    @pytest.mark.parametrize("n_chunks", [1, 2, 5])
+    def test_row_chunks_stitch(self, n_chunks):
+        m = sp.random_csr(61, seed=2)
+        x = np.random.default_rng(2).standard_normal(61)
+        whole = sp.matvec(m, x)
+        parts = []
+        base, extra = divmod(61, n_chunks)
+        start = 0
+        for i in range(n_chunks):
+            rows = base + (1 if i < extra else 0)
+            parts.append(sp.matvec_rows(m, x, start, start + rows))
+            start += rows
+        assert np.allclose(np.concatenate(parts), whole)
+
+    def test_out_of_range_rows_clamped(self):
+        m = sp.random_csr(10)
+        x = np.zeros(10)
+        assert sp.matvec_rows(m, x, -5, 100).shape == (10,)
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_matvec_property(self, n, seed):
+        m = sp.random_csr(n, seed=seed)
+        x = np.random.default_rng(seed).standard_normal(n)
+        assert np.allclose(sp.matvec(m, x), m.to_dense() @ x, atol=1e-9)
+
+    def test_run_returns_unit_ish_vector(self):
+        x = sp.run(50, repeats=5)
+        assert x.shape == (50,)
+        assert np.isfinite(x).all()
+
+
+class TestWithSchedules:
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "guided"])
+    def test_parallel_matvec_every_schedule(self, schedule):
+        """Irregular row costs are why dynamic/guided exist; all three
+        schedules must agree on the value."""
+        n = 90
+        m = sp.random_csr(n, seed=11, skew=3.0)
+        x = np.random.default_rng(4).standard_normal(n)
+        expected = sp.matvec(m, x)
+        out = np.zeros(n)
+
+        def body():
+            omp.for_loop(
+                n,
+                lambda r: out.__setitem__(r, sp.matvec_rows(m, x, r, r + 1)[0]),
+                schedule=schedule,
+                chunk=4,
+            )
+
+        omp.parallel(body, num_threads=3)
+        assert np.allclose(out, expected)

@@ -1,0 +1,138 @@
+"""Tests for the ordered construct and flush."""
+
+import threading
+
+import pytest
+
+import repro.openmp as omp
+from repro.openmp import WorksharingError
+
+
+class TestOrdered:
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "guided"])
+    def test_ordered_output_in_iteration_order(self, schedule):
+        out = []
+        lock = threading.Lock()
+
+        def body():
+            def item(i):
+                # unordered part may interleave freely
+                with lock:
+                    pass
+                omp.ordered(lambda: out.append(i))
+
+            omp.for_loop(25, item, schedule=schedule, chunk=2, ordered=True)
+
+        omp.parallel(body, num_threads=3)
+        assert out == list(range(25))
+
+    def test_skipped_ordered_regions_do_not_stall(self):
+        out = []
+
+        def body():
+            def item(i):
+                if i % 3 == 0:
+                    omp.ordered(lambda: out.append(i))
+
+            omp.for_loop(12, item, schedule="dynamic", chunk=1, ordered=True)
+
+        omp.parallel(body, num_threads=3)
+        assert out == [0, 3, 6, 9]
+
+    def test_ordered_returns_body_value(self):
+        results = []
+
+        def body():
+            def item(i):
+                results.append(omp.ordered(lambda: i * 10))
+
+            omp.for_loop(4, item, ordered=True)
+
+        omp.parallel(body, num_threads=2)
+        assert sorted(results) == [0, 10, 20, 30]
+
+    def test_ordered_outside_ordered_loop_rejected(self):
+        with pytest.raises(WorksharingError):
+            omp.ordered(lambda: None)
+
+    def test_ordered_in_plain_loop_rejected(self):
+        def body():
+            omp.for_loop(3, lambda i: omp.ordered(lambda: None))
+
+        with pytest.raises(omp.ParallelRegionError):
+            omp.parallel(body, num_threads=1)
+
+    def test_ordered_with_reduction(self):
+        seq = []
+
+        def body():
+            def item(i):
+                omp.ordered(lambda: seq.append(i))
+                return i
+
+            return omp.for_loop(10, item, ordered=True, reduction="+")
+
+        res = omp.parallel(body, num_threads=3)
+        assert res == [45, 45, 45]
+        assert seq == list(range(10))
+
+    def test_consecutive_ordered_loops(self):
+        a, b = [], []
+
+        def body():
+            omp.for_loop(5, lambda i: omp.ordered(lambda: a.append(i)), ordered=True)
+            omp.for_loop(5, lambda i: omp.ordered(lambda: b.append(i)), ordered=True)
+
+        omp.parallel(body, num_threads=2)
+        assert a == list(range(5))
+        assert b == list(range(5))
+
+
+class TestFlush:
+    def test_flush_is_callable_noop(self):
+        omp.flush()
+        omp.flush("x", "y")
+
+    def test_flush_inside_region(self):
+        omp.parallel(lambda: omp.flush(), num_threads=2)
+
+
+class TestCompiled:
+    def test_ordered_clause_and_directive(self):
+        from repro.compiler import exec_omp
+        from repro.core import PjRuntime
+
+        rt = PjRuntime()
+        try:
+            ns = exec_omp(
+                "out = []\n"
+                "def f(n):\n"
+                "    #omp parallel for num_threads(3) schedule(dynamic, 1) ordered\n"
+                "    for i in range(n):\n"
+                "        x = i * i\n"
+                "        #omp ordered\n"
+                "        out.append(i)\n"
+                "f(15)\n",
+                runtime=rt,
+            )
+            assert ns["out"] == list(range(15))
+        finally:
+            rt.shutdown(wait=False)
+
+    def test_flush_directive_compiles(self):
+        from repro.compiler import compile_source
+
+        out = compile_source(
+            "def f():\n"
+            "    x = 1\n"
+            "    #omp flush(x)\n"
+        )
+        assert "__repro_omp__.flush()" in out
+
+    def test_ordered_parse(self):
+        from repro.compiler import parse_directive
+        from repro.compiler.directive_parser import ForDir, OrderedDir
+
+        d = parse_directive("for ordered schedule(dynamic)")
+        assert isinstance(d, ForDir) and d.ordered
+        assert isinstance(parse_directive("ordered"), OrderedDir)

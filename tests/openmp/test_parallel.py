@@ -1,0 +1,154 @@
+"""Tests for the parallel construct (fork-join)."""
+
+import threading
+
+import pytest
+
+import repro.openmp as omp
+
+
+class TestFork:
+    def test_body_runs_once_per_thread(self):
+        hits = []
+        lock = threading.Lock()
+
+        def body(tid):
+            with lock:
+                hits.append(tid)
+
+        omp.parallel(body, num_threads=4)
+        assert sorted(hits) == [0, 1, 2, 3]
+
+    def test_master_is_encountering_thread(self):
+        """Thread 0 is the caller itself — the fork-join property the paper
+        identifies as the EDT blocker."""
+        me = threading.current_thread()
+        threads = {}
+
+        def body(tid):
+            threads[tid] = threading.current_thread()
+
+        omp.parallel(body, num_threads=3)
+        assert threads[0] is me
+        assert threads[1] is not me and threads[2] is not me
+
+    def test_join_is_synchronous(self):
+        """parallel() does not return until every member finished — there is
+        no nowait/async clause on parallel (paper §I)."""
+        import time
+
+        done = []
+
+        def body(tid):
+            if tid != 0:
+                time.sleep(0.1)
+            done.append(tid)
+
+        t0 = time.monotonic()
+        omp.parallel(body, num_threads=3)
+        assert time.monotonic() - t0 >= 0.1
+        assert len(done) == 3
+
+    def test_results_by_thread(self):
+        res = omp.parallel(lambda tid: tid * 10, num_threads=4)
+        assert res == [0, 10, 20, 30]
+
+    def test_zero_arg_body(self):
+        res = omp.parallel(lambda: omp.omp_get_thread_num(), num_threads=3)
+        assert sorted(res) == [0, 1, 2]
+
+    def test_if_clause_false_serialises(self):
+        res = omp.parallel(
+            lambda: (omp.omp_get_num_threads(), omp.omp_in_parallel()),
+            num_threads=4,
+            if_clause=False,
+        )
+        assert res == [(1, False)]
+
+    def test_default_team_size_from_icv(self):
+        omp.omp_set_num_threads(3)
+        try:
+            res = omp.parallel(lambda: omp.omp_get_num_threads())
+            assert res == [3, 3, 3]
+        finally:
+            omp.omp_set_num_threads(4)
+
+    def test_invalid_num_threads(self):
+        with pytest.raises(ValueError):
+            omp.parallel(lambda: None, num_threads=0)
+
+
+class TestNesting:
+    def test_nested_regions(self):
+        levels = []
+
+        def inner():
+            levels.append(omp.omp_get_level())
+
+        def outer(tid):
+            if tid == 0:
+                omp.parallel(inner, num_threads=2)
+
+        omp.parallel(outer, num_threads=2)
+        assert levels == [2, 2]
+
+    def test_nesting_disabled_serialises_inner(self):
+        omp.omp_set_nested(False)
+        try:
+            sizes = []
+
+            def inner():
+                sizes.append(omp.omp_get_num_threads())
+
+            omp.parallel(lambda tid: omp.parallel(inner, num_threads=4) if tid == 0 else None,
+                         num_threads=2)
+            assert sizes == [1]
+        finally:
+            omp.omp_set_nested(True)
+
+    def test_max_active_levels(self):
+        omp.omp_set_max_active_levels(1)
+        try:
+            sizes = []
+            omp.parallel(
+                lambda tid: sizes.append(
+                    omp.parallel(lambda: omp.omp_get_num_threads(), num_threads=4)[0]
+                ) if tid == 0 else None,
+                num_threads=2,
+            )
+            assert sizes == [1]
+        finally:
+            omp.omp_set_max_active_levels(4)
+
+    def test_context_restored_after_region(self):
+        omp.parallel(lambda: None, num_threads=2)
+        assert omp.omp_get_level() == 0
+        assert omp.omp_get_thread_num() == 0
+
+
+class TestExceptions:
+    def test_single_failure_propagates(self):
+        with pytest.raises(omp.ParallelRegionError) as ei:
+            omp.parallel(lambda tid: 1 / 0 if tid == 1 else None, num_threads=3)
+        tids = [tid for tid, _ in ei.value.failures]
+        assert 1 in tids
+
+    def test_failure_does_not_deadlock_barriers(self):
+        """A member dying before a barrier must not hang the team."""
+
+        def body(tid):
+            if tid == 1:
+                raise ValueError("early death")
+            omp.barrier()
+
+        with pytest.raises(omp.ParallelRegionError):
+            omp.parallel(body, num_threads=3)
+
+    def test_master_failure(self):
+        with pytest.raises(omp.ParallelRegionError):
+            omp.parallel(lambda tid: 1 / 0 if tid == 0 else None, num_threads=2)
+
+    def test_cause_is_first_failure(self):
+        with pytest.raises(omp.ParallelRegionError) as ei:
+            omp.parallel(lambda: 1 / 0, num_threads=1)
+        assert isinstance(ei.value.__cause__, ZeroDivisionError)

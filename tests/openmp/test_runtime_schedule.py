@@ -1,0 +1,121 @@
+"""Tests for schedule(runtime) and the run-sched ICVs."""
+
+import threading
+
+import pytest
+
+import repro.openmp as omp
+
+
+@pytest.fixture(autouse=True)
+def restore_schedule():
+    kind, chunk = omp.omp_get_schedule()
+    yield
+    omp.omp_set_schedule(kind, chunk)
+
+
+class TestIcvApi:
+    def test_set_get_roundtrip(self):
+        omp.omp_set_schedule("guided", 4)
+        assert omp.omp_get_schedule() == ("guided", 4)
+
+    def test_default_is_static(self):
+        assert omp.omp_get_schedule()[0] == "static"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            omp.omp_set_schedule("chaotic")
+        with pytest.raises(ValueError):
+            omp.omp_set_schedule("static", 0)
+
+
+class TestRuntimeSchedule:
+    def test_runtime_resolves_to_icv(self):
+        omp.omp_set_schedule("dynamic", 2)
+        hits = []
+        lock = threading.Lock()
+
+        def body():
+            def item(i):
+                with lock:
+                    hits.append(i)
+
+            omp.for_loop(20, item, schedule="runtime")
+
+        omp.parallel(body, num_threads=3)
+        assert sorted(hits) == list(range(20))
+
+    def test_runtime_schedule_captured_at_fork(self):
+        """ICVs copy into the team at fork: mutating the global mid-region
+        does not change a running team's resolution."""
+        omp.omp_set_schedule("static", None)
+        resolved = []
+
+        def body():
+            if omp.omp_get_thread_num() == 0:
+                omp.omp_set_schedule("guided", 3)  # mutate the global
+            omp.barrier()
+            # still resolves via the team's captured ICVs -> static
+            total = omp.for_loop(10, lambda i: i, schedule="runtime", reduction="+")
+            resolved.append(total)
+
+        omp.parallel(body, num_threads=2)
+        assert resolved == [45, 45]
+
+    def test_explicit_chunk_overrides_icv_chunk(self):
+        omp.omp_set_schedule("dynamic", 5)
+
+        def body():
+            return omp.for_loop(12, lambda i: i, schedule="runtime", chunk=1,
+                                reduction="+")
+
+        assert omp.parallel(body, num_threads=2) == [66, 66]
+
+    def test_compiled_runtime_schedule(self):
+        from repro.compiler import exec_omp
+        from repro.core import PjRuntime
+
+        omp.omp_set_schedule("guided", 2)
+        rt = PjRuntime()
+        try:
+            ns = exec_omp(
+                "def f(n):\n"
+                "    total = 0\n"
+                "    #omp parallel for num_threads(3) schedule(runtime) reduction(+:total)\n"
+                "    for i in range(n):\n"
+                "        total += i\n"
+                "    return total\n",
+                runtime=rt,
+            )
+            assert ns["f"](30) == sum(range(30))
+        finally:
+            rt.shutdown(wait=False)
+
+
+class TestTracebackFidelity:
+    def test_generated_source_visible_in_tracebacks(self):
+        import traceback
+
+        from repro.compiler import exec_omp
+        from repro.core import PjRuntime, RegionFailedError
+
+        rt = PjRuntime()
+        rt.create_worker("worker", 1)
+        try:
+            ns = exec_omp(
+                "def f():\n"
+                "    #omp target virtual(worker)\n"
+                "    boom = 1 / 0\n",
+                runtime=rt,
+                filename="<omp traceback-demo>",
+            )
+            with pytest.raises(RegionFailedError) as ei:
+                ns["f"]()
+            tb_text = "".join(
+                traceback.format_exception(type(ei.value.cause), ei.value.cause,
+                                            ei.value.cause.__traceback__)
+            )
+            # The generated line's text appears, thanks to linecache.
+            assert "boom = 1 / 0" in tb_text
+        finally:
+            rt.shutdown(wait=False)

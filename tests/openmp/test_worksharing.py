@@ -1,0 +1,233 @@
+"""Tests for worksharing constructs and schedules."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.openmp as omp
+from repro.openmp import WorksharingError, static_chunks
+
+
+class TestStaticChunks:
+    def test_default_blocks(self):
+        chunks = static_chunks(10, 3)
+        assert [list(r) for rs in chunks for r in rs] == [
+            [0, 1, 2, 3], [4, 5, 6], [7, 8, 9]
+        ]
+
+    def test_chunked_round_robin(self):
+        chunks = static_chunks(10, 2, chunk=3)
+        assert [list(r) for r in chunks[0]] == [[0, 1, 2], [6, 7, 8]]
+        assert [list(r) for r in chunks[1]] == [[3, 4, 5], [9]]
+
+    def test_more_threads_than_iterations(self):
+        chunks = static_chunks(2, 5)
+        sizes = [sum(len(r) for r in rs) for rs in chunks]
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_zero_iterations(self):
+        assert all(not rs for rs in static_chunks(0, 4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            static_chunks(-1, 2)
+        with pytest.raises(ValueError):
+            static_chunks(10, 2, chunk=0)
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=8),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=17)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, n, t, chunk):
+        """Every iteration appears exactly once across all threads."""
+        chunks = static_chunks(n, t, chunk)
+        seen = sorted(i for rs in chunks for r in rs for i in r)
+        assert seen == list(range(n))
+
+
+@pytest.mark.parametrize("schedule", ["static", "dynamic", "guided"])
+class TestForLoop:
+    def test_all_iterations_execute_once(self, schedule):
+        hits = []
+        lock = threading.Lock()
+
+        def body():
+            def item(i):
+                with lock:
+                    hits.append(i)
+
+            omp.for_loop(37, item, schedule=schedule, chunk=2)
+
+        omp.parallel(body, num_threads=3)
+        assert sorted(hits) == list(range(37))
+
+    def test_work_actually_distributed(self, schedule):
+        by_thread = {}
+        lock = threading.Lock()
+
+        def body():
+            tid = omp.omp_get_thread_num()
+
+            def item(i):
+                with lock:
+                    by_thread.setdefault(tid, []).append(i)
+
+            omp.for_loop(40, item, schedule=schedule, chunk=1)
+
+        omp.parallel(body, num_threads=4)
+        # Static guarantees spread; dynamic/guided at least allow it. Check
+        # no thread did everything (40 iterations, 4 threads).
+        if schedule == "static":
+            assert len(by_thread) == 4
+
+    def test_sequence_input(self, schedule):
+        items = ["a", "b", "c", "d", "e"]
+        seen = []
+        lock = threading.Lock()
+
+        def body():
+            omp.for_loop(items, lambda x: (lock.acquire(), seen.append(x), lock.release()),
+                         schedule=schedule)
+
+        omp.parallel(body, num_threads=2)
+        assert sorted(seen) == sorted(items)
+
+    def test_reduction_sum(self, schedule):
+        def body():
+            return omp.for_loop(101, lambda i: i, schedule=schedule,
+                                chunk=5, reduction="+")
+
+        res = omp.parallel(body, num_threads=4)
+        assert res == [5050] * 4
+
+    def test_reduction_max(self, schedule):
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+
+        def body():
+            return omp.for_loop(data, lambda x: x, schedule=schedule, reduction="max")
+
+        assert omp.parallel(body, num_threads=3) == [9, 9, 9]
+
+
+class TestForLoopEdgeCases:
+    def test_outside_parallel_region_rejected(self):
+        with pytest.raises(WorksharingError):
+            omp.for_loop(10, lambda i: None)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(omp.ParallelRegionError):
+            omp.parallel(lambda: omp.for_loop(5, lambda i: None, schedule="magic"),
+                         num_threads=1)
+
+    def test_unknown_reduction(self):
+        with pytest.raises(omp.ParallelRegionError):
+            omp.parallel(lambda: omp.for_loop(5, lambda i: i, reduction="avg"),
+                         num_threads=1)
+
+    def test_reduction_with_nowait_rejected(self):
+        with pytest.raises(omp.ParallelRegionError):
+            omp.parallel(
+                lambda: omp.for_loop(5, lambda i: i, reduction="+", nowait=True),
+                num_threads=1,
+            )
+
+    def test_zero_iterations(self):
+        omp.parallel(lambda: omp.for_loop(0, lambda i: 1 / 0), num_threads=2)
+
+    def test_nowait_skips_barrier(self):
+        """With nowait, a fast thread proceeds past the loop while a slow
+        thread is still inside it."""
+        import time
+
+        progressed = threading.Event()
+
+        def body():
+            tid = omp.omp_get_thread_num()
+
+            def item(i):
+                # Static default: thread 0 gets iteration 0, thread 1 gets 1.
+                if omp.omp_get_thread_num() == 1:
+                    # Slow thread: wait to see if the other escaped the loop.
+                    assert progressed.wait(timeout=5)
+
+            omp.for_loop(2, item, nowait=True)
+            if tid == 0:
+                progressed.set()
+            omp.barrier()
+
+        omp.parallel(body, num_threads=2)
+
+    def test_consecutive_loops_match_by_arrival_order(self):
+        totals = []
+        lock = threading.Lock()
+
+        def body():
+            a = omp.for_loop(10, lambda i: i, reduction="+")
+            b = omp.for_loop(20, lambda i: i, reduction="+")
+            with lock:
+                totals.append((a, b))
+
+        omp.parallel(body, num_threads=3)
+        assert totals == [(45, 190)] * 3
+
+    def test_reduction_init(self):
+        def body():
+            return omp.for_loop(4, lambda i: 1, reduction="+", reduction_init=0)
+
+        assert omp.parallel(body, num_threads=2) == [4, 4]
+
+
+class TestSectionsSingleMaster:
+    def test_sections_each_runs_once(self):
+        counts = [omp.Atomic(0) for _ in range(5)]
+
+        def body():
+            omp.sections([lambda c=c: c.add(1) for c in counts])
+
+        omp.parallel(body, num_threads=3)
+        assert [c.value for c in counts] == [1] * 5
+
+    def test_sections_results_broadcast(self):
+        def body():
+            return omp.sections([lambda: "a", lambda: "b"])
+
+        assert omp.parallel(body, num_threads=2) == [["a", "b"], ["a", "b"]]
+
+    def test_sections_outside_region(self):
+        with pytest.raises(WorksharingError):
+            omp.sections([lambda: 1])
+
+    def test_single_runs_once_broadcasts_result(self):
+        count = omp.Atomic(0)
+
+        def body():
+            return omp.single(lambda: count.add(1))
+
+        res = omp.parallel(body, num_threads=4)
+        assert count.value == 1
+        assert res == [1, 1, 1, 1]
+
+    def test_single_nowait_nonexecutors_get_none(self):
+        def body():
+            return omp.single(lambda: "mine", nowait=True)
+
+        res = omp.parallel(body, num_threads=3)
+        assert res.count("mine") == 1
+        assert res.count(None) == 2
+
+    def test_master_only_thread_zero(self):
+        res = omp.parallel(lambda: omp.master(lambda: "m"), num_threads=3)
+        assert res[0] == "m"
+        assert res[1:] == [None, None]
+
+    def test_single_outside_region(self):
+        with pytest.raises(WorksharingError):
+            omp.single(lambda: 1)
+
+    def test_master_outside_region(self):
+        with pytest.raises(WorksharingError):
+            omp.master(lambda: 1)

@@ -1,0 +1,88 @@
+"""Analytic validation: the simulator against closed-form queueing results.
+
+The machine and queue models are simple enough that several scenarios have
+exact answers; these tests pin the simulator to them, so shape claims in the
+benchmarks rest on verified mechanics rather than plausible-looking curves.
+"""
+
+import pytest
+
+from repro.sim import (
+    GUI_KERNELS,
+    GuiBenchConfig,
+    KernelCostModel,
+    Machine,
+    MachineConfig,
+    Simulator,
+    run_gui_benchmark,
+)
+
+
+class TestWorkConservation:
+    def test_machine_busy_time_equals_submitted_work(self):
+        sim = Simulator()
+        m = Machine(sim, MachineConfig(cores=4, switch_overhead=0.0))
+        works = [0.1, 0.35, 0.2, 0.8, 0.05]
+        for w in works:
+            m.execute(w)
+        sim.run()
+        assert m.busy_core_seconds == pytest.approx(sum(works))
+
+    def test_gui_benchmark_response_below_saturation_is_exact(self):
+        """Deterministic arrivals slower than the service time: zero
+        queueing, so mean response = handler span exactly."""
+        kernel = KernelCostModel("exact", serial_time=0.050, parallel_fraction=0.9)
+        cfg = GuiBenchConfig(
+            approach="sequential", kernel=kernel, rate=10.0, n_events=50
+        )
+        result = run_gui_benchmark(cfg)
+        expected = 0.050 + 2 * cfg.gui_update  # kernel + pre/post updates
+        assert result.response.mean == pytest.approx(expected, rel=1e-6)
+        assert result.response.maximum == pytest.approx(expected, rel=1e-6)
+
+    def test_sequential_saturated_growth_is_linear(self):
+        """Past saturation with deterministic arrivals, the backlog grows
+        linearly: event k waits ~k*(service - gap), so the mean response of
+        n events is ~n/2*(service - gap) + service."""
+        kernel = KernelCostModel("lin", serial_time=0.040, parallel_fraction=0.9)
+        rate = 50.0  # gap 20 ms < 41 ms service
+        n = 100
+        cfg = GuiBenchConfig(
+            approach="sequential", kernel=kernel, rate=rate, n_events=n
+        )
+        service = 0.040 + 2 * cfg.gui_update
+        gap = 1.0 / rate
+        result = run_gui_benchmark(cfg)
+        predicted_mean = (n - 1) / 2 * (service - gap) + service
+        assert result.response.mean == pytest.approx(predicted_mean, rel=0.02)
+
+    def test_pool_throughput_equals_little_law(self):
+        """Closed-form pool check: k workers × service time bounds the
+        completion horizon of n jobs exactly for deterministic service."""
+        from repro.sim import SimThreadPool, ThreadCosts
+
+        sim = Simulator()
+        m = Machine(sim, MachineConfig(cores=8, switch_overhead=0.0))
+        pool = SimThreadPool(sim, m, 2, costs=ThreadCosts(queue_handoff=0.0))
+
+        def job():
+            yield m.execute(0.5)
+
+        for _ in range(6):
+            pool.submit(job)
+        sim.run()
+        # 6 jobs / 2 workers * 0.5 s = 1.5 s.
+        assert sim.now == pytest.approx(1.5, rel=1e-9)
+
+    def test_amdahl_span_realised_on_idle_machine(self):
+        """The async-parallel handler's latency equals the kernel's Amdahl
+        span plus fixed costs when the machine is otherwise idle."""
+        kernel = GUI_KERNELS["raytracer"]
+        cfg = GuiBenchConfig(
+            approach="async_parallel", kernel=kernel, rate=1.0, n_events=5,
+            parallel_threads=3,
+        )
+        result = run_gui_benchmark(cfg)
+        span = kernel.span(3)
+        fixed = 2 * cfg.gui_update + cfg.costs.queue_handoff * 2 + 50e-6
+        assert result.response.mean == pytest.approx(span + fixed, rel=0.05)

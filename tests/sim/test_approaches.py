@@ -1,0 +1,120 @@
+"""Tests for the GUI-benchmark approach models (§V-A shapes)."""
+
+import pytest
+
+from repro.sim import APPROACHES, GUI_KERNELS, GuiBenchConfig, run_gui_benchmark
+
+
+def run(approach, rate=20.0, kernel="crypt", n_events=60, **kw):
+    return run_gui_benchmark(
+        GuiBenchConfig(
+            approach=approach,
+            kernel=GUI_KERNELS[kernel],
+            rate=rate,
+            n_events=n_events,
+            **kw,
+        )
+    )
+
+
+class TestMechanics:
+    @pytest.mark.parametrize("approach", APPROACHES)
+    def test_every_approach_completes_all_events(self, approach):
+        result = run(approach, rate=10.0, n_events=30)
+        assert result.response.count == 30
+        assert result.dispatch.count == 30
+
+    def test_deterministic(self):
+        a = run("pyjama_async", rate=40.0)
+        b = run("pyjama_async", rate=40.0)
+        assert a.response.samples == b.response.samples
+
+    def test_unknown_approach_rejected(self):
+        with pytest.raises(ValueError):
+            GuiBenchConfig(approach="magic")
+
+    def test_lost_event_detection(self):
+        # internal guard: every event must finish
+        result = run("sequential", rate=5.0, n_events=10)
+        assert result.response.count == 10
+
+
+class TestPaperShapes:
+    """Qualitative claims of §V-A, as assertions."""
+
+    def test_sequential_blows_up_past_saturation(self):
+        """Crypt = 40 ms ⇒ a lone EDT saturates at 25 req/s; open-loop load
+        beyond that makes the queue (and response time) explode."""
+        below = run("sequential", rate=15.0).response.mean
+        above = run("sequential", rate=50.0, n_events=150).response.mean
+        assert below < 0.06
+        assert above > 10 * below
+
+    @pytest.mark.parametrize("approach", ["swingworker", "executor", "pyjama_async"])
+    def test_offloading_stays_flat_past_edt_saturation(self, approach):
+        below = run(approach, rate=15.0).response.mean
+        above = run(approach, rate=50.0, n_events=150).response.mean
+        assert above < 3 * below
+
+    def test_pyjama_comparable_to_manual_approaches(self):
+        """'Performance achieved by the proposed directive based approach is
+        equal and often superior to manual implementations.'"""
+        for rate in (20.0, 50.0, 80.0):
+            pyjama = run("pyjama_async", rate=rate, n_events=100).response.mean
+            executor = run("executor", rate=rate, n_events=100).response.mean
+            swing = run("swingworker", rate=rate, n_events=100).response.mean
+            assert pyjama <= executor * 1.10
+            assert pyjama <= swing * 1.10
+
+    def test_sync_parallel_keeps_edt_busy(self):
+        """'the EDT in the synchronous parallel approach is actually
+        unresponsive for a longer time compared to other approaches'."""
+        sync = run("sync_parallel", rate=20.0)
+        pyjama = run("pyjama_async", rate=20.0)
+        assert sync.edt_busy_fraction > 5 * pyjama.edt_busy_fraction
+        assert sync.edt_busy_fraction > 0.15
+
+    def test_sync_parallel_dispatch_collapses_before_async(self):
+        rate = 90.0
+        sync = run("sync_parallel", rate=rate, n_events=150)
+        pyjama = run("pyjama_async", rate=rate, n_events=150)
+        assert pyjama.dispatch.mean < sync.dispatch.mean
+
+    def test_async_parallel_beats_async_on_latency_at_low_load(self):
+        """Per-event parallelization shortens each response when cores are
+        idle (Figure 8's low-load region)."""
+        async_seq = run("pyjama_async", rate=10.0).response.mean
+        async_par = run("async_parallel", rate=10.0).response.mean
+        assert async_par < async_seq
+
+    def test_async_parallel_advantage_shrinks_at_saturation(self):
+        """Once the machine saturates, per-event parallelism cannot add
+        throughput (Figure 8's high-load region)."""
+        lo_seq = run("pyjama_async", rate=10.0).response.mean
+        lo_par = run("async_parallel", rate=10.0).response.mean
+        hi_seq = run("pyjama_async", rate=95.0, n_events=150).response.mean
+        hi_par = run("async_parallel", rate=95.0, n_events=150).response.mean
+        gain_lo = lo_seq / lo_par
+        gain_hi = hi_seq / hi_par
+        assert gain_hi < gain_lo
+
+    def test_thread_per_request_worst_under_heavy_load(self):
+        """§II-A: unbounded thread creation collapses under load."""
+        tpr = run("thread_per_request", rate=95.0, n_events=150).response.mean
+        pooled = run("executor", rate=95.0, n_events=150).response.mean
+        assert tpr > pooled
+
+    def test_dispatch_latency_near_zero_for_offloading(self):
+        r = run("pyjama_async", rate=50.0, n_events=100)
+        assert r.dispatch.mean < 0.005
+
+    @pytest.mark.parametrize("kernel", sorted(GUI_KERNELS))
+    def test_shapes_hold_for_every_paper_kernel(self, kernel):
+        """The §V-A result is per-kernel: sequential degrades, Pyjama stays
+        flat, for all four Java Grande kernels."""
+        serial = GUI_KERNELS[kernel].serial_time
+        saturation = 1.0 / serial
+        hi = min(100.0, saturation * 2)
+        seq = run("sequential", kernel=kernel, rate=hi, n_events=100).response.mean
+        pyj = run("pyjama_async", kernel=kernel, rate=hi, n_events=100).response.mean
+        assert pyj < seq

@@ -1,0 +1,111 @@
+"""Tests for kernel cost models."""
+
+import pytest
+
+from repro.sim import (
+    FORK_JOIN_OVERHEAD,
+    GUI_KERNELS,
+    KernelCostModel,
+    Machine,
+    MachineConfig,
+    Simulator,
+    kernel_task,
+    parallel_kernel_task,
+)
+
+
+class TestKernelCostModel:
+    def test_paper_kernel_set(self):
+        assert set(GUI_KERNELS) == {"crypt", "series", "montecarlo", "raytracer"}
+
+    def test_magnitudes_are_subsecond(self):
+        # "computations lasting only a few hundred milliseconds"
+        for model in GUI_KERNELS.values():
+            assert 0.001 <= model.serial_time <= 0.5
+
+    def test_span_single_thread_is_serial(self):
+        m = KernelCostModel("k", 0.1, 0.9)
+        assert m.span(1) == 0.1
+
+    def test_span_obeys_amdahl(self):
+        m = KernelCostModel("k", 0.1, 0.9)
+        expected = 0.1 * 0.1 + 0.1 * 0.9 / 4 + FORK_JOIN_OVERHEAD
+        assert m.span(4) == pytest.approx(expected)
+
+    def test_speedup_bounded_by_amdahl(self):
+        m = KernelCostModel("k", 0.1, 0.9)
+        limit = 1 / (1 - 0.9)
+        assert m.speedup(1000) < limit
+        assert 1.0 < m.speedup(4) < limit
+
+    def test_span_monotone_decreasing_until_overhead(self):
+        m = GUI_KERNELS["raytracer"]
+        assert m.span(2) < m.span(1)
+        assert m.span(4) < m.span(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelCostModel("k", 0.0, 0.5)
+        with pytest.raises(ValueError):
+            KernelCostModel("k", 0.1, 1.5)
+        with pytest.raises(ValueError):
+            KernelCostModel("k", 0.1, 0.5).span(0)
+
+
+class TestTasks:
+    def test_sequential_task_timing(self):
+        sim = Simulator()
+        machine = Machine(sim, MachineConfig(cores=4))
+        task = kernel_task(machine, KernelCostModel("k", 0.25, 0.9))
+        sim.process(task())
+        sim.run()
+        assert sim.now == pytest.approx(0.25)
+
+    def test_parallel_task_faster_on_idle_machine(self):
+        model = KernelCostModel("k", 0.4, 0.95)
+        times = {}
+        for threads in (1, 4):
+            sim = Simulator()
+            machine = Machine(sim, MachineConfig(cores=4))
+            sim.process(parallel_kernel_task(sim, machine, model, threads)())
+            sim.run()
+            times[threads] = sim.now
+        assert times[4] < times[1]
+        assert times[4] == pytest.approx(model.span(4), rel=0.01)
+
+    def test_parallel_task_contends_for_cores(self):
+        # 8 chunks on 4 cores cannot beat total-work/cores.
+        model = KernelCostModel("k", 0.4, 1.0)
+        sim = Simulator()
+        machine = Machine(sim, MachineConfig(cores=4, switch_overhead=0.0))
+        sim.process(parallel_kernel_task(sim, machine, model, 8)())
+        sim.run()
+        assert sim.now >= 0.4 / 4
+
+    def test_per_thread_spawn_cost(self):
+        model = KernelCostModel("k", 0.1, 0.5)
+        sim = Simulator()
+        machine = Machine(sim, MachineConfig(cores=16))
+        sim.process(
+            parallel_kernel_task(sim, machine, model, 4, per_thread_spawn=0.01)()
+        )
+        sim.run()
+        base = model.span(4)
+        assert sim.now == pytest.approx(base + 0.04, rel=0.01)
+
+    def test_invalid_threads(self):
+        sim = Simulator()
+        machine = Machine(sim, MachineConfig())
+        with pytest.raises(ValueError):
+            parallel_kernel_task(sim, machine, GUI_KERNELS["crypt"], 0)
+
+
+class TestCalibration:
+    def test_calibrate_from_host_preserves_structure(self):
+        from repro.sim import calibrate_from_host
+
+        models = calibrate_from_host("A")
+        assert set(models) == set(GUI_KERNELS)
+        for name, model in models.items():
+            assert model.serial_time > 0
+            assert model.parallel_fraction == GUI_KERNELS[name].parallel_fraction

@@ -1,0 +1,253 @@
+"""Tests for the DES core: clock, events, processes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        hits = []
+        h = sim.schedule(1.0, lambda: hits.append(1))
+        sim.cancel(h)
+        sim.run()
+        assert hits == []
+
+    def test_run_until(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(5.0, lambda: hits.append(5))
+        sim.run(until=2.0)
+        assert hits == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert hits == [1, 5]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.0, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_clock_monotone_property(self, delays):
+        """The clock never moves backwards, whatever the schedule."""
+        sim = Simulator()
+        observed = []
+        for d in delays:
+            sim.schedule(d, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = sim.event("e")
+        got = []
+        ev.on_fire(lambda e: got.append(e.value))
+        ev.succeed(42)
+        assert got == [42]
+        assert ev.fired
+        assert ev.fired_at == 0.0
+
+    def test_double_fire_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_value_before_fire_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.event().value
+
+    def test_fail_reraises_on_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError):
+            ev.value
+
+    def test_late_callback_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+        got = []
+        ev.on_fire(lambda e: got.append(e.value))
+        assert got == ["v"]
+
+    def test_timeout(self):
+        sim = Simulator()
+        ev = sim.timeout(2.5, value="late")
+        sim.run()
+        assert ev.fired_at == 2.5
+        assert ev.value == "late"
+
+    def test_all_of(self):
+        sim = Simulator()
+        evs = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        combined = AllOf(sim, evs)
+        sim.run()
+        assert combined.fired_at == 3.0
+        assert combined.value == [3.0, 1.0, 2.0]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        combined = AllOf(sim, [])
+        assert combined.fired
+        assert combined.value == []
+
+    def test_all_of_propagates_failure(self):
+        sim = Simulator()
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        combined = AllOf(sim, [good, bad])
+        bad.fail(RuntimeError("x"))
+        sim.run()
+        assert combined.error is not None
+
+
+class TestProcesses:
+    def test_delay_yield(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.5
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.done.value == 1.5
+
+    def test_event_yield_receives_value(self):
+        sim = Simulator()
+
+        def proc():
+            v = yield sim.timeout(1.0, value="payload")
+            return v
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.done.value == "payload"
+
+    def test_process_yield_waits_completion(self):
+        sim = Simulator()
+
+        def inner():
+            yield 2.0
+            return "inner-result"
+
+        def outer():
+            result = yield sim.process(inner())
+            return (result, sim.now)
+
+        p = sim.process(outer())
+        sim.run()
+        assert p.done.value == ("inner-result", 2.0)
+
+    def test_exception_fails_done_event(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            raise ValueError("inside")
+
+        p = sim.process(proc())
+        sim.run()
+        assert isinstance(p.done.error, ValueError)
+
+    def test_failed_dependency_raises_into_waiter(self):
+        sim = Simulator()
+
+        def failing():
+            yield 1.0
+            raise KeyError("dep")
+
+        def waiter():
+            try:
+                yield sim.process(failing())
+            except KeyError:
+                return "caught"
+            return "not caught"
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.done.value == "caught"
+
+    def test_negative_sleep_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        p = sim.process(proc())
+        sim.run()
+        assert isinstance(p.done.error, SimulationError)
+
+    def test_bad_yield_type(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not-a-command"
+
+        p = sim.process(proc())
+        sim.run()
+        assert isinstance(p.done.error, SimulationError)
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, step):
+            for i in range(3):
+                yield step
+                log.append((name, sim.now))
+
+        sim.process(proc("a", 1.0))
+        sim.process(proc("b", 1.5))
+        sim.run()
+        assert [t for _, t in log] == sorted(t for _, t in log)
+        assert [e for e in log if e[0] == "a"] == [("a", 1.0), ("a", 2.0), ("a", 3.0)]
+        assert [e for e in log if e[0] == "b"] == [("b", 1.5), ("b", 3.0), ("b", 4.5)]

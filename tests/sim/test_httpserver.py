@@ -1,0 +1,90 @@
+"""Tests for the HTTP service simulation (§V-B / Figure 9 shapes)."""
+
+import pytest
+
+from repro.sim import HttpBenchConfig, run_http_benchmark
+
+
+def run(server="pyjama", workers=8, parallel=None, **kw):
+    kw.setdefault("n_users", 50)
+    kw.setdefault("requests_per_user", 3)
+    return run_http_benchmark(
+        HttpBenchConfig(
+            server=server, worker_threads=workers, parallel_threads=parallel, **kw
+        )
+    )
+
+
+class TestMechanics:
+    def test_all_requests_complete(self):
+        r = run(workers=4)
+        assert r.completed == 150
+
+    def test_deterministic(self):
+        assert run().throughput == run().throughput
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HttpBenchConfig(server="apache")
+        with pytest.raises(ValueError):
+            HttpBenchConfig(worker_threads=0)
+        with pytest.raises(ValueError):
+            HttpBenchConfig(parallel_threads=0)
+
+    def test_parallel_raises_active_thread_count(self):
+        plain = run(workers=8)
+        par = run(workers=8, parallel=8)
+        assert par.mean_active_threads > plain.mean_active_threads
+
+
+class TestPaperShapes:
+    """Figure 9's qualitative claims."""
+
+    def test_jetty_and_pyjama_comparable(self):
+        """'both Jetty and Pyjama have good scaling performance'."""
+        for w in (2, 8, 16):
+            jetty = run("jetty", workers=w).throughput
+            pyjama = run("pyjama", workers=w).throughput
+            assert pyjama == pytest.approx(jetty, rel=0.05)
+
+    def test_plain_variants_scale_with_workers(self):
+        t2 = run(workers=2).throughput
+        t8 = run(workers=8).throughput
+        t16 = run(workers=16).throughput
+        assert t8 > 3 * t2
+        assert t16 > 1.5 * t8
+
+    def test_parallel_dramatically_better_at_low_workers(self):
+        """'it initially results in dramatically better throughput'."""
+        plain = run(workers=2).throughput
+        par = run(workers=2, parallel=8).throughput
+        assert par > 3 * plain
+
+    def test_parallel_levels_off_under_50(self):
+        """'the throughput levels off at just under 50 responses/sec'."""
+        values = [run(workers=w, parallel=8).throughput for w in (8, 16, 32)]
+        assert all(30 < v < 50 for v in values), values
+        spread = max(values) - min(values)
+        assert spread < 0.2 * max(values)  # a plateau, not a slope
+
+    def test_plain_peak_near_capacity(self):
+        """16 cores / 0.32 s/request ≈ 50 responses/sec ceiling."""
+        peak = run(workers=16).throughput
+        assert 40 < peak <= 50
+
+    def test_crossover_parallel_wins_low_loses_high(self):
+        """Parallel wins with few workers; plain catches up at high worker
+        counts (the Figure 9 crossover)."""
+        low_plain = run(workers=2).throughput
+        low_par = run(workers=2, parallel=8).throughput
+        hi_plain = run(workers=16).throughput
+        hi_par = run(workers=16, parallel=8).throughput
+        assert low_par > low_plain
+        assert hi_plain >= hi_par
+
+    def test_oversubscription_penalty_visible(self):
+        """Turning the scheduler overhead off lifts the parallel plateau —
+        the plateau is caused by the modeled thread-scheduling overhead."""
+        with_penalty = run(workers=16, parallel=8).throughput
+        without = run(workers=16, parallel=8, switch_overhead=0.0).throughput
+        assert without > with_penalty

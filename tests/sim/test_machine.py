@@ -1,0 +1,129 @@
+"""Tests for the machine model: processor sharing + oversubscription."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Machine, MachineConfig, SimulationError, Simulator
+
+
+def make(cores=4, overhead=0.0):
+    sim = Simulator()
+    return sim, Machine(sim, MachineConfig(cores=cores, switch_overhead=overhead))
+
+
+class TestBasicTiming:
+    def test_single_burst_takes_its_work(self):
+        sim, m = make()
+        m.execute(1.0)
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_bursts_up_to_core_count_run_fully_parallel(self):
+        sim, m = make(cores=4)
+        for _ in range(4):
+            m.execute(1.0)
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_oversubscribed_shares_proportionally(self):
+        sim, m = make(cores=2, overhead=0.0)
+        for _ in range(4):
+            m.execute(1.0)
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_zero_work_completes_immediately(self):
+        sim, m = make()
+        ev = m.execute(0.0)
+        sim.run()
+        assert ev.fired
+        assert sim.now == 0.0
+
+    def test_negative_work_rejected(self):
+        _, m = make()
+        with pytest.raises(SimulationError):
+            m.execute(-0.1)
+
+    def test_staggered_arrivals_exact(self):
+        # Analytic: A runs alone 0.5s (rate 1), shares 0.5 rate for 1.0s more
+        # -> done at 1.5; B then finishes its remaining 0.5 alone at 2.0.
+        sim, m = make(cores=1)
+        done = {}
+        m.execute(1.0).on_fire(lambda e: done.__setitem__("a", sim.now))
+        sim.schedule(0.5, lambda: m.execute(1.0).on_fire(
+            lambda e: done.__setitem__("b", sim.now)))
+        sim.run()
+        assert done["a"] == pytest.approx(1.5)
+        assert done["b"] == pytest.approx(2.0)
+
+
+class TestOverheadModel:
+    def test_no_penalty_at_or_below_cores(self):
+        _, m = make(cores=4, overhead=0.5)
+        assert m.efficiency(4) == 1.0
+        assert m.efficiency(1) == 1.0
+
+    def test_penalty_grows_with_oversubscription(self):
+        _, m = make(cores=4, overhead=0.12)
+        assert m.efficiency(5) < 1.0
+        assert m.efficiency(16) < m.efficiency(5)
+
+    def test_penalty_saturates(self):
+        """A preemptive scheduler's overhead is bounded: deep oversubscription
+        levels off (the Figure 9 plateau)."""
+        _, m = make(cores=4, overhead=0.12)
+        assert m.efficiency(4000) == pytest.approx(1.0 / 1.12, rel=1e-3)
+        assert m.efficiency(400) > 1.0 / 1.13
+
+    def test_oversubscribed_run_slower_than_ideal(self):
+        sim, m = make(cores=2, overhead=0.2)
+        for _ in range(8):
+            m.execute(1.0)
+        sim.run()
+        assert sim.now > 4.0  # ideal PS would finish at 4.0
+
+    def test_conservation_of_work(self):
+        """Total busy core-seconds equals submitted work when not penalised."""
+        sim, m = make(cores=4, overhead=0.0)
+        works = [0.5, 1.0, 0.25, 2.0]
+        for w in works:
+            m.execute(w)
+        sim.run()
+        assert m.busy_core_seconds == pytest.approx(sum(works))
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_completion_bounds_property(self, works, cores):
+        """Makespan is at least max(work, total/cores) and at most
+        total (single-core serial) times the max penalty factor."""
+        sim = Simulator()
+        m = Machine(sim, MachineConfig(cores=cores, switch_overhead=0.12))
+        for w in works:
+            m.execute(w)
+        sim.run()
+        lower = max(max(works), sum(works) / cores)
+        upper = sum(works) * 1.12 + 1e-9
+        assert lower - 1e-9 <= sim.now <= upper
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_equal_bursts_finish_together(self, n):
+        sim = Simulator()
+        m = Machine(sim, MachineConfig(cores=4))
+        finish_times = []
+        for _ in range(n):
+            m.execute(1.0).on_fire(lambda e: finish_times.append(sim.now))
+        sim.run()
+        assert len(set(finish_times)) == 1
+
+    def test_active_count_tracks(self):
+        sim, m = make()
+        m.execute(1.0)
+        m.execute(2.0)
+        assert m.active == 2
+        sim.run()
+        assert m.active == 0

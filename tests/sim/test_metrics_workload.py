@@ -1,0 +1,174 @@
+"""Tests for metrics and workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    ResponseStats,
+    Series,
+    SimEvent,
+    Simulator,
+    ThroughputMeter,
+    fire_open_loop,
+    run_closed_loop_users,
+)
+
+
+class TestResponseStats:
+    def test_mean_and_percentiles(self):
+        s = ResponseStats()
+        for i, rt in enumerate([0.1, 0.2, 0.3, 0.4]):
+            s.record(float(i), i + rt)
+        assert s.count == 4
+        assert s.mean == pytest.approx(0.25)
+        assert s.median == pytest.approx(0.25)
+        assert s.maximum == pytest.approx(0.4)
+        assert s.percentile(0) == pytest.approx(0.1)
+        assert s.percentile(100) == pytest.approx(0.4)
+
+    def test_empty_stats_raise(self):
+        s = ResponseStats()
+        with pytest.raises(ValueError):
+            s.mean
+        with pytest.raises(ValueError):
+            s.percentile(50)
+
+    def test_negative_response_rejected(self):
+        s = ResponseStats()
+        with pytest.raises(ValueError):
+            s.record(2.0, 1.0)
+
+    def test_bad_percentile(self):
+        s = ResponseStats()
+        s.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_window_tracking(self):
+        s = ResponseStats()
+        s.record(1.0, 2.0)
+        s.record(0.5, 3.0)
+        assert s.first_fired == 0.5
+        assert s.last_finished == 3.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_percentile_monotone_property(self, rts):
+        s = ResponseStats()
+        for i, rt in enumerate(rts):
+            s.record(float(i), i + rt)
+        values = [s.percentile(p) for p in (0, 25, 50, 75, 100)]
+        assert values == sorted(values)
+        assert min(rts) - 1e-9 <= s.mean <= max(rts) + 1e-9
+
+
+class TestThroughputMeter:
+    def test_throughput(self):
+        m = ThroughputMeter()
+        m.mark_start(0.0)
+        for t in (1.0, 2.0, 4.0):
+            m.mark_completion(t)
+        assert m.completed == 3
+        assert m.throughput == pytest.approx(3 / 4.0)
+
+    def test_no_samples_zero(self):
+        assert ThroughputMeter().throughput == 0.0
+
+
+class TestSeries:
+    def test_add_and_rows(self):
+        s = Series("pyjama")
+        s.add(10, 0.04)
+        s.add(20, 0.05)
+        assert s.as_rows() == [(10, 0.04), (20, 0.05)]
+
+
+class TestOpenLoop:
+    def test_uniform_spacing(self):
+        sim = Simulator()
+        fired = []
+        times = fire_open_loop(sim, rate=10.0, count=5, fire=lambda i: fired.append((i, sim.now)))
+        sim.run()
+        assert times == [0.0, 0.1, 0.2, 0.3, 0.4]
+        assert fired == [(0, 0.0), (1, 0.1), (2, 0.2), (3, 0.3), (4, 0.4)]
+
+    def test_poisson_reproducible(self):
+        t1 = fire_open_loop(Simulator(), 10.0, 20, lambda i: None, poisson=True, seed=7)
+        t2 = fire_open_loop(Simulator(), 10.0, 20, lambda i: None, poisson=True, seed=7)
+        t3 = fire_open_loop(Simulator(), 10.0, 20, lambda i: None, poisson=True, seed=8)
+        assert t1 == t2
+        assert t1 != t3
+
+    def test_poisson_rate_roughly_matches(self):
+        times = fire_open_loop(Simulator(), 50.0, 2000, lambda i: None, poisson=True, seed=1)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1 / 50.0, rel=0.15)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            fire_open_loop(Simulator(), 0.0, 1, lambda i: None)
+
+
+class TestClosedLoop:
+    def test_users_wait_for_responses(self):
+        sim = Simulator()
+        in_flight = {"n": 0, "max": 0}
+        log = []
+
+        def send(uid, seq):
+            in_flight["n"] += 1
+            in_flight["max"] = max(in_flight["max"], in_flight["n"])
+            ev = SimEvent(sim)
+
+            def respond():
+                in_flight["n"] -= 1
+                log.append((uid, seq))
+                ev.succeed()
+
+            sim.schedule(1.0, respond)
+            return ev
+
+        run_closed_loop_users(sim, n_users=3, requests_per_user=2, send_request=send)
+        sim.run()
+        assert len(log) == 6
+        # closed loop: never more outstanding requests than users
+        assert in_flight["max"] <= 3
+        # each user's requests are sequential
+        for uid in range(3):
+            seqs = [s for u, s in log if u == uid]
+            assert seqs == [0, 1]
+
+    def test_on_response_callback(self):
+        sim = Simulator()
+        responses = []
+
+        def send(uid, seq):
+            ev = SimEvent(sim)
+            sim.schedule(0.5, ev.succeed)
+            return ev
+
+        run_closed_loop_users(
+            sim, 2, 1, send, on_response=lambda u, s, t: responses.append((u, s, t))
+        )
+        sim.run()
+        assert sorted(responses) == [(0, 0, 0.5), (1, 0, 0.5)]
+
+    def test_ramp_up_staggers_starts(self):
+        sim = Simulator()
+        starts = []
+
+        def send(uid, seq):
+            starts.append((uid, sim.now))
+            ev = SimEvent(sim)
+            sim.schedule(0.01, ev.succeed)
+            return ev
+
+        run_closed_loop_users(sim, 4, 1, send, ramp_up=1.0)
+        sim.run()
+        times = [t for _, t in sorted(starts)]
+        assert times == [0.0, 0.25, 0.5, 0.75]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_closed_loop_users(Simulator(), 0, 1, lambda u, s: None)

@@ -1,0 +1,297 @@
+"""Tests for simulated pools, thread-per-request, and the EDT loop."""
+
+import pytest
+
+from repro.sim import (
+    AwaitBlock,
+    Machine,
+    MachineConfig,
+    Resource,
+    SimEventLoop,
+    SimThreadPool,
+    Simulator,
+    Store,
+    ThreadCosts,
+    spawn_thread,
+)
+
+
+def world(cores=4, overhead=0.0):
+    sim = Simulator()
+    return sim, Machine(sim, MachineConfig(cores=cores, switch_overhead=overhead))
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        s = Store(sim)
+        s.put("x")
+        ev = s.get()
+        assert ev.fired and ev.value == "x"
+
+    def test_get_then_put(self):
+        sim = Simulator()
+        s = Store(sim)
+        ev = s.get()
+        assert not ev.fired
+        s.put("y")
+        assert ev.value == "y"
+
+    def test_fifo_ordering_items_and_getters(self):
+        sim = Simulator()
+        s = Store(sim)
+        s.put(1)
+        s.put(2)
+        assert s.get().value == 1
+        assert s.get().value == 2
+        g1, g2 = s.get(), s.get()
+        s.put("a")
+        s.put("b")
+        assert g1.value == "a" and g2.value == "b"
+
+    def test_len_and_waiting(self):
+        sim = Simulator()
+        s = Store(sim)
+        s.put(1)
+        assert len(s) == 1
+        s.get()
+        s.get()
+        assert s.waiting_getters == 1
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        r = Resource(sim, 2)
+        a, b, c = r.request(), r.request(), r.request()
+        assert a.fired and b.fired and not c.fired
+        assert r.in_use == 2 and r.queue_length == 1
+        r.release()
+        assert c.fired
+
+    def test_release_idle_rejected(self):
+        sim = Simulator()
+        r = Resource(sim, 1)
+        from repro.sim import SimulationError
+
+        with pytest.raises(SimulationError):
+            r.release()
+
+    def test_zero_capacity_rejected(self):
+        from repro.sim import SimulationError
+
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), 0)
+
+
+class TestThreadPool:
+    def test_tasks_complete_with_results(self):
+        sim, m = world()
+        pool = SimThreadPool(sim, m, 2)
+
+        def task():
+            yield m.execute(0.5)
+            return "done"
+
+        ev = pool.submit(task)
+        sim.run()
+        assert ev.value == "done"
+        assert pool.completed == 1
+
+    def test_pool_limits_concurrency(self):
+        sim, m = world(cores=8)
+        pool = SimThreadPool(sim, m, 2, costs=ThreadCosts(queue_handoff=0.0))
+
+        def task():
+            yield m.execute(1.0)
+
+        for _ in range(4):
+            pool.submit(task)
+        sim.run()
+        # 2 at a time on an 8-core machine: 2 waves of 1s each.
+        assert sim.now == pytest.approx(2.0, rel=1e-6)
+
+    def test_task_error_fails_completion_event(self):
+        sim, m = world()
+        pool = SimThreadPool(sim, m, 1)
+
+        def bad():
+            yield m.execute(0.1)
+            raise ValueError("task failed")
+
+        ev = pool.submit(bad)
+        sim.run()
+        assert isinstance(ev.error, ValueError)
+
+    def test_pool_survives_task_error(self):
+        sim, m = world()
+        pool = SimThreadPool(sim, m, 1)
+
+        def bad():
+            yield 0.1
+            raise ValueError()
+
+        def good():
+            yield 0.1
+            return "alive"
+
+        pool.submit(bad)
+        ev = pool.submit(good)
+        sim.run()
+        assert ev.value == "alive"
+
+    def test_rejects_empty_pool(self):
+        sim, m = world()
+        with pytest.raises(ValueError):
+            SimThreadPool(sim, m, 0)
+
+
+class TestSpawnThread:
+    def test_pays_spawn_cost(self):
+        sim, m = world(cores=1)
+        costs = ThreadCosts(thread_spawn=0.25)
+
+        def task():
+            yield m.execute(1.0)
+            return "v"
+
+        ev = spawn_thread(sim, m, task, costs=costs)
+        sim.run()
+        assert ev.value == "v"
+        assert sim.now == pytest.approx(1.25)
+
+    def test_error_propagates(self):
+        sim, m = world()
+
+        def bad():
+            yield 0.1
+            raise RuntimeError("spawned failure")
+
+        ev = spawn_thread(sim, m, bad)
+        sim.run()
+        assert isinstance(ev.error, RuntimeError)
+
+
+class TestEventLoop:
+    def test_handlers_fifo_and_serialized(self):
+        sim, m = world()
+        edt = SimEventLoop(sim, m)
+        order = []
+
+        def handler(tag, dur):
+            def gen():
+                yield m.execute(dur)
+                order.append((tag, round(sim.now, 6)))
+
+            return gen
+
+        edt.post(handler("a", 0.2))
+        edt.post(handler("b", 0.1))
+        sim.run()
+        assert order == [("a", 0.2), ("b", 0.3)]
+        assert edt.dispatched == 2
+
+    def test_await_block_releases_loop(self):
+        sim, m = world()
+        edt = SimEventLoop(sim, m)
+        pool = SimThreadPool(sim, m, 1)
+        order = []
+
+        def kernel():
+            yield m.execute(0.5)
+            return "K"
+
+        def awaiting():
+            got = yield AwaitBlock(pool.submit(kernel))
+            order.append(("continuation", got, round(sim.now, 3)))
+
+        def quick():
+            yield m.execute(0.01)
+            order.append(("quick", round(sim.now, 3)))
+
+        h = edt.post(awaiting)
+        sim.schedule(0.1, lambda: edt.post(quick))
+        sim.run()
+        assert [e[0] for e in order] == ["quick", "continuation"]
+        assert h.fired
+
+    def test_await_error_raises_in_handler(self):
+        sim, m = world()
+        edt = SimEventLoop(sim, m)
+        pool = SimThreadPool(sim, m, 1)
+        caught = []
+
+        def bad_kernel():
+            yield 0.1
+            raise ValueError("block failed")
+
+        def handler():
+            try:
+                yield AwaitBlock(pool.submit(bad_kernel))
+            except ValueError:
+                caught.append(True)
+
+        edt.post(handler)
+        sim.run()
+        assert caught == [True]
+
+    def test_handler_error_fails_completion(self):
+        sim, m = world()
+        edt = SimEventLoop(sim, m)
+
+        def bad():
+            yield 0.1
+            raise KeyError("handler blew up")
+
+        h = edt.post(bad)
+        sim.run()
+        assert isinstance(h.error, KeyError)
+        # loop still alive
+        ok = edt.post(lambda: iter([]))  # empty generator
+
+        def fine():
+            yield 0.0
+            return 1
+
+        h2 = edt.post(fine)
+        sim.run()
+        assert h2.value == 1
+
+    def test_busy_time_excludes_await(self):
+        sim, m = world()
+        edt = SimEventLoop(sim, m)
+        pool = SimThreadPool(sim, m, 1)
+
+        def kernel():
+            yield m.execute(1.0)
+
+        def handler():
+            yield m.execute(0.1)
+            yield AwaitBlock(pool.submit(kernel))
+            yield m.execute(0.1)
+
+        edt.post(handler)
+        sim.run()
+        assert edt.busy_time == pytest.approx(0.2, abs=0.01)
+
+    def test_nested_await_chain(self):
+        sim, m = world()
+        edt = SimEventLoop(sim, m)
+        pool = SimThreadPool(sim, m, 2)
+        order = []
+
+        def work(tag, dur):
+            def gen():
+                yield m.execute(dur)
+                order.append(tag)
+
+            return gen
+
+        def handler():
+            yield AwaitBlock(pool.submit(work("first", 0.2)))
+            yield AwaitBlock(pool.submit(work("second", 0.2)))
+            order.append("done")
+
+        edt.post(handler)
+        sim.run()
+        assert order == ["first", "second", "done"]

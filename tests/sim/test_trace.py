@@ -1,0 +1,118 @@
+"""Tests for execution tracing and ASCII timelines."""
+
+import pytest
+
+from repro.sim import (
+    AwaitBlock,
+    Machine,
+    MachineConfig,
+    SimEventLoop,
+    SimThreadPool,
+    Simulator,
+    Span,
+    TraceRecorder,
+    render_ascii,
+)
+
+
+class TestRecorder:
+    def test_record_and_lanes_in_first_seen_order(self):
+        r = TraceRecorder()
+        r.record("edt", "a", 0.0, 1.0)
+        r.record("w-0", "b", 0.5, 2.0)
+        r.record("edt", "c", 2.0, 3.0)
+        assert r.lanes() == ["edt", "w-0"]
+        assert r.horizon == 3.0
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            Span("l", "x", 2.0, 1.0)
+
+    def test_busy_time_merges_overlaps(self):
+        r = TraceRecorder()
+        r.record("l", "a", 0.0, 2.0)
+        r.record("l", "b", 1.0, 3.0)   # overlapping
+        r.record("l", "c", 5.0, 6.0)
+        assert r.lane_busy_time("l") == pytest.approx(4.0)
+
+    def test_busy_time_empty_lane(self):
+        assert TraceRecorder().lane_busy_time("ghost") == 0.0
+
+
+class TestRender:
+    def test_empty(self):
+        assert render_ascii(TraceRecorder()) == "(empty trace)"
+
+    def test_rows_and_fill(self):
+        r = TraceRecorder()
+        r.record("edt", "h", 0.0, 0.5)
+        r.record("pool-0", "t", 0.5, 1.0)
+        out = render_ascii(r, width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("   edt |")
+        assert lines[1].startswith("pool-0 |")
+        # busy halves are on opposite sides
+        edt_cells = lines[0].split("|")[1]
+        pool_cells = lines[1].split("|")[1]
+        assert edt_cells[:8].count("█") > 0 and edt_cells[-5:].count("█") == 0
+        assert pool_cells[-8:].count("█") > 0 and pool_cells[:5].count("█") == 0
+
+    def test_width_validation(self):
+        r = TraceRecorder()
+        r.record("l", "x", 0, 1)
+        with pytest.raises(ValueError):
+            render_ascii(r, width=5)
+
+    def test_deterministic(self):
+        r = TraceRecorder()
+        r.record("a", "x", 0.0, 0.25)
+        r.record("b", "y", 0.25, 1.0)
+        assert render_ascii(r, width=32) == render_ascii(r, width=32)
+
+
+class TestIntegrationWithSim:
+    def test_traced_await_shows_edt_gap(self):
+        """The paper's Figure-1 picture from a real run: during the awaited
+        block the EDT lane is idle while the pool lane is busy."""
+        sim = Simulator()
+        machine = Machine(sim, MachineConfig(cores=4))
+        trace = TraceRecorder()
+        edt = SimEventLoop(sim, machine, trace=trace)
+        pool = SimThreadPool(sim, machine, 1, name="w", trace=trace)
+
+        def kernel():
+            yield machine.execute(0.4)
+
+        def handler():
+            yield machine.execute(0.05)
+            yield AwaitBlock(pool.submit(kernel))
+            yield machine.execute(0.05)
+
+        edt.post(handler)
+        sim.run()
+
+        edt_busy = trace.lane_busy_time("edt")
+        pool_busy = trace.lane_busy_time("w-0")
+        assert edt_busy == pytest.approx(0.1, abs=0.01)
+        assert pool_busy == pytest.approx(0.4, abs=0.01)
+        # The rendered timeline shows the idle gap on the EDT lane.
+        art = render_ascii(trace, width=50)
+        edt_line = next(l for l in art.splitlines() if l.strip().startswith("edt"))
+        cells = edt_line.split("|")[1]
+        middle = cells[len(cells) // 3 : 2 * len(cells) // 3]
+        assert "·" in middle
+
+    def test_pool_tasks_traced(self):
+        sim = Simulator()
+        machine = Machine(sim, MachineConfig(cores=2))
+        trace = TraceRecorder()
+        pool = SimThreadPool(sim, machine, 2, name="p", trace=trace)
+
+        def t():
+            yield machine.execute(0.1)
+
+        for _ in range(4):
+            pool.submit(t)
+        sim.run()
+        assert len(trace.spans) == 4
+        assert {s.lane for s in trace.spans} == {"p-0", "p-1"}
