@@ -1,0 +1,51 @@
+"""Root test configuration: a hang watchdog for every test.
+
+The suite exercises shutdown/deadlock semantics on real threads, so a
+regression tends to manifest as a *hang*, not a failure.  ``pytest-timeout``
+(declared in the ``test`` extra) enforces the 60 s per-test budget when
+installed.  When it is missing we fall back to a minimal watchdog built on
+:func:`faulthandler.dump_traceback_later`: a hung test dumps every thread's
+traceback to stderr and aborts the run instead of wedging CI forever.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+_FALLBACK_TIMEOUT = 60.0
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        # Own the ini key pytest-timeout would normally declare, so
+        # ``timeout = 60`` in pyproject stays meaningful without the plugin.
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (fallback watchdog)",
+            default=str(_FALLBACK_TIMEOUT),
+        )
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_protocol(item, nextitem):
+        try:
+            budget = float(item.config.getini("timeout") or _FALLBACK_TIMEOUT)
+        except (TypeError, ValueError):
+            budget = _FALLBACK_TIMEOUT
+        if budget > 0:
+            faulthandler.dump_traceback_later(budget, exit=True)
+        try:
+            yield
+        finally:
+            faulthandler.cancel_dump_traceback_later()

@@ -26,7 +26,7 @@ import asyncio
 import threading
 from typing import Any, Callable
 
-from ..core.errors import RuntimeStateError, TargetShutdownError
+from ..core.errors import QueueFullError, RuntimeStateError, TargetShutdownError
 from ..core.region import TargetRegion
 from ..core.runtime import PjRuntime
 from ..core.targets import VirtualTarget
@@ -44,10 +44,24 @@ class AsyncioEdtTarget(VirtualTarget):
 
     supports_pumping = False  # asyncio loops cannot be pumped re-entrantly
 
-    def __init__(self, name: str, loop: asyncio.AbstractEventLoop) -> None:
-        super().__init__(name)
+    def __init__(
+        self,
+        name: str,
+        loop: asyncio.AbstractEventLoop,
+        *,
+        queue_capacity: int | None = None,
+        rejection_policy: str = "block",
+    ) -> None:
+        super().__init__(
+            name, queue_capacity=queue_capacity, rejection_policy=rejection_policy
+        )
         self.loop = loop
         self._bound = threading.Event()
+        # Regions handed to the loop but not yet run.  The loop's own queue
+        # is opaque to us, so this shadow set is what shutdown(wait=False)
+        # cancels and what the backpressure policies count against.
+        self._inflight: set[TargetRegion] = set()
+        self._inflight_cond = threading.Condition()
         loop.call_soon_threadsafe(self._bind)
 
     def _bind(self) -> None:
@@ -60,12 +74,68 @@ class AsyncioEdtTarget(VirtualTarget):
 
     # ---------------------------------------------------------------- posts
 
-    def post(self, item: TargetRegion | Callable[[], Any]) -> None:
+    def post(
+        self,
+        item: TargetRegion | Callable[[], Any],
+        *,
+        timeout: float | None = None,
+    ) -> None:
         if self._shutdown.is_set():
             raise TargetShutdownError(self.name)
         if self.loop.is_closed():
             raise TargetShutdownError(self.name)
-        self.loop.call_soon_threadsafe(lambda: self._dispatch(item))
+        if isinstance(item, TargetRegion):
+            if not self._admit(item, timeout):
+                return  # caller_runs executed it synchronously
+            self.loop.call_soon_threadsafe(lambda: self._run_tracked(item))
+        else:
+            self.loop.call_soon_threadsafe(lambda: self._dispatch(item))
+
+    def _admit(self, region: TargetRegion, timeout: float | None) -> bool:
+        """Apply the rejection policy against the in-flight shadow set.
+
+        Returns False when ``caller_runs`` already executed the region in the
+        posting thread (nothing left to hand to the loop).
+        """
+        with self._inflight_cond:
+            cap = self.queue_capacity
+            if cap is not None and len(self._inflight) >= cap:
+                if self.rejection_policy == "reject":
+                    self._bump("rejected")
+                    raise QueueFullError(self.name, cap)
+                if self.rejection_policy == "caller_runs":
+                    self._bump("caller_runs")
+                    # dispatched below, outside the lock
+                else:  # block
+                    ok = self._inflight_cond.wait_for(
+                        lambda: self._shutdown.is_set() or len(self._inflight) < cap,
+                        timeout=timeout,
+                    )
+                    if self._shutdown.is_set():
+                        raise TargetShutdownError(self.name)
+                    if not ok:
+                        raise QueueFullError(self.name, cap)
+                    self._track(region)
+                    return True
+            else:
+                self._track(region)
+                return True
+        self._dispatch(region)  # caller_runs
+        return False
+
+    def _track(self, region: TargetRegion) -> None:
+        # Caller holds _inflight_cond.
+        self._inflight.add(region)
+        self._queue.high_water = max(self._queue.high_water, len(self._inflight))
+        self._bump("posted")
+
+    def _run_tracked(self, region: TargetRegion) -> None:
+        try:
+            self._dispatch(region)
+        finally:
+            with self._inflight_cond:
+                self._inflight.discard(region)
+                self._inflight_cond.notify_all()
 
     def process_one(self, timeout: float | None = None) -> bool:
         raise RuntimeStateError(
@@ -74,10 +144,21 @@ class AsyncioEdtTarget(VirtualTarget):
         )
 
     def shutdown(self, wait: bool = True) -> None:
-        # The loop belongs to the application; we only detach from it.
+        # The loop belongs to the application; we only detach from it.  But
+        # regions we already handed to the loop are ours: ``wait=False``
+        # cancels the not-yet-run ones so their waiters fail fast instead of
+        # hanging on callbacks a dying loop may never execute.
         if self._shutdown.is_set():
             return
         self._shutdown.set()
+        with self._inflight_cond:
+            inflight = list(self._inflight)
+            self._inflight_cond.notify_all()  # release blocked posters
+        if not wait:
+            reason = TargetShutdownError(self.name)
+            for region in inflight:
+                if region.cancel(reason):
+                    self._bump("cancelled_on_shutdown")
         thread = next(iter(self._members), None) if self._members else None
         if thread is not None:
             self._exit_member(thread)
@@ -87,15 +168,22 @@ def register_asyncio_edt(
     runtime: PjRuntime,
     name: str = "edt",
     loop: asyncio.AbstractEventLoop | None = None,
+    *,
+    queue_capacity: int | None = None,
+    rejection_policy: str | None = None,
 ) -> AsyncioEdtTarget:
     """Register a (running) asyncio loop as virtual target *name*.
 
     Call from inside the loop (``loop`` defaults to the running loop) or
-    from another thread with an explicit loop object.
+    from another thread with an explicit loop object.  Capacity/policy
+    default to the runtime's ``queue_capacity_var``/``rejection_policy_var``
+    ICVs, like every other target factory.
     """
     if loop is None:
         loop = asyncio.get_running_loop()
-    target = AsyncioEdtTarget(name, loop)
+    target = AsyncioEdtTarget(
+        name, loop, **runtime._queue_options(queue_capacity, rejection_policy)
+    )
     runtime.register_target(target)
     return target
 

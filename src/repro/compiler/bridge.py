@@ -51,9 +51,13 @@ def run_on(
     tag: str | None = None,
     condition: bool = True,
     runtime: PjRuntime | None = None,
+    timeout: float | None = None,
 ):
     """Target-block dispatch used by compiled ``#omp target`` pragmas."""
-    return _run_on(target, body, mode=mode, tag=tag, condition=condition, runtime=runtime)
+    return _run_on(
+        target, body, mode=mode, tag=tag, condition=condition, runtime=runtime,
+        timeout=timeout,
+    )
 
 
 def wait_for(tag: str, *, runtime: PjRuntime | None = None) -> None:

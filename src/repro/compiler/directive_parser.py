@@ -19,6 +19,7 @@ Grammar (paper Figure 5 for ``target``, classic OpenMP for the rest)::
 
     target-clause   := 'virtual' '(' name ')' | 'device' '(' int ')'
                      | 'nowait' | 'await' | 'name_as' '(' name ')'
+                     | 'timeout' '(' seconds ')'
                      | 'if' '(' expr ')' | data-clause
     parallel-clause := 'num_threads' '(' expr ')' | 'if' '(' expr ')'
                      | 'default' '(' ('shared'|'none') ')' | data-clause
@@ -270,6 +271,7 @@ def _parse_target(lx: DirectiveLexer, line: int) -> TargetDir:
     mode_set = False
     tag: str | None = None
     if_cond: str | None = None
+    timeout: float | None = None
     data: list[DataClause] = []
 
     while not lx.at_end():
@@ -303,6 +305,18 @@ def _parse_target(lx: DirectiveLexer, line: int) -> TargetDir:
             lx.expect("RPAREN")
             mode = SchedulingMode.NAME_AS
             mode_set = True
+        elif clause == "timeout":
+            if timeout is not None:
+                raise lx.error("duplicate timeout clause")
+            raw = lx.raw_parenthesized()
+            try:
+                timeout = float(raw)
+            except ValueError:
+                raise lx.error(
+                    f"timeout() needs a number of seconds, got {raw!r}"
+                ) from None
+            if timeout <= 0:
+                raise lx.error(f"timeout() must be positive, got {raw!r}")
         elif clause == "if":
             if if_cond is not None:
                 raise lx.error("duplicate if clause")
@@ -325,6 +339,7 @@ def _parse_target(lx: DirectiveLexer, line: int) -> TargetDir:
             tag=tag,
             if_condition=if_cond,
             data_clauses=tuple(data),
+            timeout=timeout,
         ),
         line=line,
     )

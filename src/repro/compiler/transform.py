@@ -386,15 +386,18 @@ class OmpTransformer:
             if directive.if_condition
             else const(True)
         )
+        keywords: dict[str, ast.expr] = {
+            "mode": const(directive.mode.value),
+            "tag": const(directive.tag),
+            "condition": condition,
+            "runtime": runtime_arg(),
+        }
+        if directive.timeout is not None:
+            keywords["timeout"] = const(directive.timeout)
         call = bridge_call(
             "run_on",
             [const(directive.target.name), name_load(fname)],
-            {
-                "mode": const(directive.mode.value),
-                "tag": const(directive.tag),
-                "condition": condition,
-                "runtime": runtime_arg(),
-            },
+            keywords,
         )
         return [*pre_inits, funcdef, expr_stmt(call)]
 

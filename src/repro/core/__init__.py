@@ -24,8 +24,11 @@ from .directives import (
     TargetProperty,
 )
 from .errors import (
+    AwaitTimeoutError,
     DirectiveSyntaxError,
     PyjamaError,
+    QueueFullError,
+    RegionCancelledError,
     RegionFailedError,
     RuntimeStateError,
     TagError,
@@ -33,10 +36,16 @@ from .errors import (
     TargetShutdownError,
     UnknownTargetError,
 )
-from .region import RegionState, TargetRegion
+from .region import CancelToken, RegionState, TargetRegion, current_region
 from .runtime import PjRuntime, default_runtime, reset_default_runtime, set_default_runtime
 from .tags import TagRegistry
-from .targets import EdtTarget, VirtualTarget, WorkerTarget, current_target
+from .targets import (
+    REJECTION_POLICIES,
+    EdtTarget,
+    VirtualTarget,
+    WorkerTarget,
+    current_target,
+)
 
 __all__ = [
     # api
@@ -46,11 +55,14 @@ __all__ = [
     "DataClause", "DataSharing", "SchedulingMode", "TargetDirective",
     "TargetKind", "TargetProperty",
     # errors
-    "DirectiveSyntaxError", "PyjamaError", "RegionFailedError",
+    "AwaitTimeoutError", "DirectiveSyntaxError", "PyjamaError",
+    "QueueFullError", "RegionCancelledError", "RegionFailedError",
     "RuntimeStateError", "TagError", "TargetExistsError",
     "TargetShutdownError", "UnknownTargetError",
     # region / runtime / targets
-    "RegionState", "TargetRegion", "PjRuntime", "default_runtime",
+    "CancelToken", "RegionState", "TargetRegion", "current_region",
+    "PjRuntime", "default_runtime",
     "reset_default_runtime", "set_default_runtime", "TagRegistry",
     "EdtTarget", "VirtualTarget", "WorkerTarget", "current_target",
+    "REJECTION_POLICIES",
 ]

@@ -87,6 +87,7 @@ def run_on(
     mode: SchedulingMode | str = SchedulingMode.DEFAULT,
     tag: str | None = None,
     condition: bool = True,
+    timeout: float | None = None,
     runtime: PjRuntime | None = None,
     **kwargs: Any,
 ) -> TargetRegion:
@@ -102,7 +103,9 @@ def run_on(
 
     Returns the :class:`TargetRegion` handle.  For the waiting modes
     (``default``/``await``) the region is already terminal on return and any
-    exception from the body has been re-raised.
+    exception from the body has been re-raised; *timeout* bounds those waits
+    (the ``timeout(...)`` clause) and raises
+    :class:`~repro.core.errors.AwaitTimeoutError` past the deadline.
     """
     rt = runtime or default_runtime()
     region = TargetRegion(body, *args, **kwargs)
@@ -110,7 +113,7 @@ def run_on(
         region.run()
         region.result()
         return region
-    return rt.invoke_target_block(target, region, mode, tag=tag)
+    return rt.invoke_target_block(target, region, mode, tag=tag, timeout=timeout)
 
 
 def on_target(
@@ -118,6 +121,7 @@ def on_target(
     mode: SchedulingMode | str = SchedulingMode.DEFAULT,
     *,
     tag: str | None = None,
+    timeout: float | None = None,
     runtime: PjRuntime | None = None,
 ) -> Callable[[F], Callable[..., Any]]:
     """Decorator: every call of the function becomes a target block.
@@ -132,7 +136,8 @@ def on_target(
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
             region = run_on(
-                target, fn, *args, mode=sched, tag=tag, runtime=runtime, **kwargs
+                target, fn, *args, mode=sched, tag=tag, timeout=timeout,
+                runtime=runtime, **kwargs
             )
             if sched.is_fire_and_forget:
                 return region

@@ -124,6 +124,7 @@ class TargetDirective:
     tag: str | None = None                     # name_as(name-tag)
     if_condition: str | None = None            # textual condition (compiler use)
     data_clauses: tuple[DataClause, ...] = field(default_factory=tuple)
+    timeout: float | None = None               # deadline for waiting modes (s)
 
     def __post_init__(self) -> None:
         if self.mode is SchedulingMode.NAME_AS and not self.tag:
@@ -132,6 +133,17 @@ class TargetDirective:
             raise DirectiveSyntaxError(
                 f"tag {self.tag!r} is only valid with the name_as clause"
             )
+        if self.timeout is not None:
+            if self.timeout <= 0:
+                raise DirectiveSyntaxError(
+                    f"timeout must be a positive number of seconds, got {self.timeout!r}"
+                )
+            if self.mode.is_fire_and_forget:
+                raise DirectiveSyntaxError(
+                    "timeout(...) is only meaningful for waiting modes (default "
+                    "or await); nowait/name_as blocks are joined elsewhere — "
+                    "put the deadline on wait(tag) instead"
+                )
 
     @property
     def is_virtual(self) -> bool:
@@ -145,6 +157,8 @@ class TargetDirective:
             parts.append(f"name_as({self.tag})")
         elif self.mode is SchedulingMode.AWAIT:
             parts.append("await")
+        if self.timeout is not None:
+            parts.append(f"timeout({self.timeout:g})")
         if self.if_condition is not None:
             parts.append(f"if({self.if_condition})")
         parts.extend(str(c) for c in self.data_clauses)

@@ -77,6 +77,52 @@ class RegionFailedError(PyjamaError):
         self.__cause__ = cause
 
 
+class RegionCancelledError(RegionFailedError):
+    """Waiting on a target region that was cancelled before it could run.
+
+    Subclasses :class:`RegionFailedError` so ``except RegionFailedError``
+    keeps catching every unsuccessful wait; the cancellation reason (e.g. the
+    :class:`TargetShutdownError` of a drained target) is the ``cause``.
+    """
+
+    def __init__(self, region_name: str, cause: BaseException | None = None):
+        super().__init__(
+            region_name, cause if cause is not None else RuntimeError("region was cancelled")
+        )
+
+
+class QueueFullError(PyjamaError):
+    """A region was posted to a virtual target whose bounded queue is full.
+
+    Raised by the ``reject`` rejection policy, and by the ``block`` policy
+    when the post's own timeout elapses before space frees up.
+    """
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self.capacity = capacity
+        super().__init__(
+            f"virtual target {name!r} rejected a post: bounded queue is full "
+            f"(capacity {capacity})"
+        )
+
+
+class AwaitTimeoutError(PyjamaError, TimeoutError):
+    """A waiting dispatch (default wait or ``await`` logical barrier) blew
+    past its deadline.
+
+    Carries a ``diagnostics`` dump (queue depths, member threads, counters)
+    taken at expiry so stuck systems can be debugged post-mortem.  Also a
+    ``TimeoutError`` so generic timeout handling keeps working.
+    """
+
+    def __init__(self, message: str, diagnostics: str = ""):
+        self.diagnostics = diagnostics
+        if diagnostics:
+            message = f"{message}\n{diagnostics}"
+        super().__init__(message)
+
+
 class TagError(PyjamaError):
     """Invalid use of a ``name_as``/``wait`` tag (e.g. waiting on an unknown tag
     in strict mode)."""

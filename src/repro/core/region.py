@@ -14,11 +14,65 @@ import itertools
 import threading
 from typing import Any, Callable
 
-from .errors import RegionFailedError
+from .errors import RegionCancelledError, RegionFailedError
 
-__all__ = ["RegionState", "TargetRegion"]
+__all__ = ["RegionState", "TargetRegion", "CancelToken", "current_region"]
 
 _region_counter = itertools.count()
+_current_region = threading.local()
+
+
+def current_region() -> "TargetRegion | None":
+    """The region currently executing on the calling thread, if any.
+
+    Lets target-block bodies reach their own handle — most usefully the
+    cooperative cancel token — without the compiler having to thread it
+    through as an argument::
+
+        def body():
+            while not current_region().cancel_token.cancelled:
+                step()
+    """
+    return getattr(_current_region, "value", None)
+
+
+class CancelToken:
+    """Cooperative cancellation flag a running region body can poll.
+
+    ``cancel()`` on a *pending* region withdraws it outright; for a *running*
+    region Python threads cannot be interrupted, so cancellation flips this
+    token and the body is expected to observe it at its next convenient
+    point (poll :attr:`cancelled` or call :meth:`raise_if_cancelled`).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def set(self) -> None:
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until cancellation is requested (useful in sleepy loops)."""
+        return self._event.wait(timeout)
+
+    def raise_if_cancelled(self) -> None:
+        """Raise ``RuntimeError`` if cancellation was requested.
+
+        The region then finishes FAILED and waiters see the usual
+        :class:`RegionFailedError`, which is the honest outcome for a body
+        that stopped halfway.
+        """
+        if self._event.is_set():
+            raise RuntimeError("target region body observed a cancellation request")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CancelToken {'cancelled' if self.cancelled else 'live'}>"
 
 
 class RegionState(enum.Enum):
@@ -52,7 +106,7 @@ class TargetRegion:
 
     __slots__ = (
         "body", "args", "kwargs", "name", "_state", "_result", "_exception",
-        "_done", "_lock", "_callbacks",
+        "_done", "_lock", "_callbacks", "cancel_token",
     )
 
     def __init__(
@@ -72,6 +126,7 @@ class TargetRegion:
         self._done = threading.Event()
         self._lock = threading.Lock()
         self._callbacks: list[Callable[["TargetRegion"], None]] = []
+        self.cancel_token = CancelToken()
 
     # ------------------------------------------------------------------ state
 
@@ -87,22 +142,44 @@ class TargetRegion:
     def exception(self) -> BaseException | None:
         return self._exception
 
-    def cancel(self) -> bool:
+    def cancel(self, reason: BaseException | None = None) -> bool:
         """Cancel the region if it has not started running.
 
         Returns True if the region transitioned to CANCELLED.  A running or
         finished region cannot be cancelled (matching ``Future.cancel``).
+
+        *reason* optionally records why: waiters then see it as the cause of
+        their :class:`RegionCancelledError`, and ``name_as`` tag groups count
+        the cancellation as a failure (a drained target's lost work must not
+        look like success to ``wait_tag``).  A bare ``cancel()`` stays a
+        benign withdrawal, invisible to tag waits.
         """
         with self._lock:
             if self._state is not RegionState.PENDING:
                 return False
             self._state = RegionState.CANCELLED
+            if reason is not None:
+                self._exception = reason
             callbacks = list(self._callbacks)
             self._callbacks.clear()
+        self.cancel_token.set()
         self._done.set()
         for cb in callbacks:
             cb(self)
         return True
+
+    def request_cancel(self, reason: BaseException | None = None) -> bool:
+        """Cancel if pending; otherwise flag the cooperative token.
+
+        Unlike :meth:`cancel` this never gives up on a running region: the
+        body can poll ``cancel_token`` (or :func:`current_region`) and bail
+        out early.  Returns True only for a hard (pending) cancellation.
+        """
+        if self.cancel(reason):
+            return True
+        if not self._done.is_set():
+            self.cancel_token.set()
+        return False
 
     # -------------------------------------------------------------- execution
 
@@ -117,6 +194,8 @@ class TargetRegion:
             if self._state is not RegionState.PENDING:
                 return
             self._state = RegionState.RUNNING
+        previous = current_region()
+        _current_region.value = self
         try:
             result = self.body(*self.args, **self.kwargs)
         except BaseException as exc:  # noqa: BLE001 - must capture to re-raise at wait()
@@ -131,6 +210,8 @@ class TargetRegion:
                 self._state = RegionState.COMPLETED
                 callbacks = list(self._callbacks)
                 self._callbacks.clear()
+        finally:
+            _current_region.value = previous
         self._done.set()
         for cb in callbacks:
             cb(self)
@@ -164,7 +245,7 @@ class TargetRegion:
         if not self._done.wait(timeout):
             raise TimeoutError(f"timed out waiting for {self.name}")
         if self._state is RegionState.CANCELLED:
-            raise RegionFailedError(self.name, RuntimeError("region was cancelled"))
+            raise RegionCancelledError(self.name, self._exception)
         if self._exception is not None:
             raise RegionFailedError(self.name, self._exception)
         return self._result

@@ -18,15 +18,17 @@ paper's Algorithm 1 ("Target block code execution"):
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable
 
 from .directives import SchedulingMode, TargetDirective, TargetKind
 from .errors import (
+    AwaitTimeoutError,
     RuntimeStateError,
     TargetExistsError,
     UnknownTargetError,
 )
-from .region import TargetRegion
+from .region import RegionState, TargetRegion
 from .targets import EdtTarget, VirtualTarget, WorkerTarget, current_target
 from .tags import TagRegistry
 
@@ -48,6 +50,12 @@ class PjRuntime:
     * ``await_poll_var`` — the poll interval (seconds) of the logical barrier.
     * ``strict_await_var`` — if True, ``await`` from a thread that belongs to
       no virtual target raises instead of degrading to a blocking wait.
+    * ``queue_capacity_var`` — default bounded-queue capacity for targets
+      created through this runtime (None = unbounded).
+    * ``rejection_policy_var`` — default full-queue policy for those targets
+      (``block`` / ``reject`` / ``caller_runs``).
+    * ``default_timeout_var`` — default deadline (seconds) applied to waiting
+      dispatches when the directive/call gives none (None = wait forever).
     """
 
     def __init__(self) -> None:
@@ -58,6 +66,9 @@ class PjRuntime:
         self.default_target_var: str | None = None
         self.await_poll_var: float = 0.05
         self.strict_await_var: bool = False
+        self.queue_capacity_var: int | None = None
+        self.rejection_policy_var: str = "block"
+        self.default_timeout_var: float | None = None
         # Observability: dispatch counters (inline = Algorithm 1 line 7,
         # posted = line 8; per-mode tallies for the scheduling clauses).
         self._counters_lock = threading.Lock()
@@ -91,9 +102,34 @@ class PjRuntime:
                 self.default_target_var = target.name
         return target
 
-    def create_worker(self, name: str, max_threads: int) -> WorkerTarget:
-        """``virtual_target_create_worker`` (paper Table II)."""
-        target = WorkerTarget(name, max_threads)
+    def _queue_options(
+        self, queue_capacity: int | None, rejection_policy: str | None
+    ) -> dict[str, Any]:
+        return {
+            "queue_capacity": (
+                queue_capacity if queue_capacity is not None else self.queue_capacity_var
+            ),
+            "rejection_policy": (
+                rejection_policy if rejection_policy is not None else self.rejection_policy_var
+            ),
+        }
+
+    def create_worker(
+        self,
+        name: str,
+        max_threads: int,
+        *,
+        queue_capacity: int | None = None,
+        rejection_policy: str | None = None,
+    ) -> WorkerTarget:
+        """``virtual_target_create_worker`` (paper Table II).
+
+        *queue_capacity* / *rejection_policy* default to the
+        ``queue_capacity_var`` / ``rejection_policy_var`` ICVs.
+        """
+        target = WorkerTarget(
+            name, max_threads, **self._queue_options(queue_capacity, rejection_policy)
+        )
         try:
             self.register_target(target)
         except TargetExistsError:
@@ -101,17 +137,29 @@ class PjRuntime:
             raise
         return target
 
-    def register_edt(self, name: str) -> EdtTarget:
+    def register_edt(
+        self,
+        name: str,
+        *,
+        queue_capacity: int | None = None,
+        rejection_policy: str | None = None,
+    ) -> EdtTarget:
         """``virtual_target_register_edt`` (paper Table II): the calling
         thread becomes the EDT of a new target named *name*."""
-        target = EdtTarget(name)
+        target = EdtTarget(name, **self._queue_options(queue_capacity, rejection_policy))
         self.register_target(target)
         target.register_current_thread()
         return target
 
-    def start_edt(self, name: str) -> EdtTarget:
+    def start_edt(
+        self,
+        name: str,
+        *,
+        queue_capacity: int | None = None,
+        rejection_policy: str | None = None,
+    ) -> EdtTarget:
         """Spawn a dedicated EDT thread (headless convenience)."""
-        target = EdtTarget(name)
+        target = EdtTarget(name, **self._queue_options(queue_capacity, rejection_policy))
         self.register_target(target)
         target.start_in_thread()
         return target
@@ -131,13 +179,13 @@ class PjRuntime:
         with self._lock:
             return sorted(self._targets)
 
-    def unregister_target(self, name: str, *, shutdown: bool = True) -> None:
+    def unregister_target(self, name: str, *, shutdown: bool = True, wait: bool = False) -> None:
         with self._lock:
             target = self._targets.pop(name, None)
             if self.default_target_var == name:
                 self.default_target_var = next(iter(self._targets), None)
         if target is not None and shutdown:
-            target.shutdown(wait=False)
+            target.shutdown(wait=wait)
 
     def shutdown(self, wait: bool = True) -> None:
         """Shut down every registered target and clear the registry."""
@@ -147,7 +195,9 @@ class PjRuntime:
             self.default_target_var = None
         for t in targets:
             t.shutdown(wait=wait)
-        self.tags.clear()
+        # Keep recorded failures: a wait_tag released by this teardown must
+        # still see that its regions were cancelled, not a clean join.
+        self.tags.clear(keep_errors=True)
 
     # ------------------------------------------------------------ Algorithm 1
 
@@ -158,17 +208,32 @@ class PjRuntime:
         mode: SchedulingMode | str = SchedulingMode.DEFAULT,
         *,
         tag: str | None = None,
+        timeout: float | None = None,
     ) -> TargetRegion:
         """Dispatch a target block per Algorithm 1 and the scheduling clause.
 
         Returns the region (usable as a handle: ``.wait()``, ``.result()``).
         For ``DEFAULT`` and ``AWAIT`` the call returns only after the block
-        finished, re-raising any exception from the block's body.
+        finished, re-raising any exception from the block's body.  *timeout*
+        (or the ``default_timeout_var`` ICV) bounds the waiting modes: past
+        the deadline the region is withdrawn if still queued and
+        :class:`AwaitTimeoutError` is raised with a diagnostic dump.
         """
         if isinstance(mode, str):
             mode = SchedulingMode(mode)
         if not isinstance(region, TargetRegion):
             region = TargetRegion(region)
+        if timeout is None:
+            timeout = self.default_timeout_var
+        if region.state is RegionState.CANCELLED:
+            # An already-cancelled handle must not be posted: run() would
+            # no-op on the executor, leaving fire-and-forget callers with a
+            # silently dead handle and waiting callers with the right error
+            # only by accident.  Surface it deterministically here.
+            if mode.is_fire_and_forget:
+                return region
+            region.result()  # raises RegionCancelledError
+            return region
         if mode is SchedulingMode.NAME_AS:
             if tag is None:
                 raise RuntimeStateError("name_as scheduling requires a tag")
@@ -194,18 +259,53 @@ class PjRuntime:
             return region
 
         if mode is SchedulingMode.AWAIT:  # lines 13-16
-            self._logical_barrier(region)
+            self._logical_barrier(region, executor, timeout=timeout)
         else:  # line 17, default: T.wait()
-            region.wait()
+            if not region.wait(timeout):
+                self._on_deadline(region, executor, timeout, kind="wait")
         region.result()  # surface exceptions exactly like inline execution
         return region
 
-    def _logical_barrier(self, region: TargetRegion) -> None:
+    def _on_deadline(
+        self,
+        region: TargetRegion,
+        executor: VirtualTarget,
+        timeout: float | None,
+        *,
+        kind: str,
+    ) -> None:
+        """A waiting dispatch blew its deadline: withdraw and diagnose.
+
+        A still-queued region is cancelled (so it cannot run after the
+        caller has given up on it); a running one is flagged via its
+        cooperative cancel token and keeps the queue slot until the body
+        notices.  Either way the caller gets :class:`AwaitTimeoutError` with
+        queue depths and member threads of every registered target.
+        """
+        withdrawn = region.request_cancel(
+            AwaitTimeoutError(f"deadline of {timeout}s expired", "")
+        )
+        state = "withdrawn before start" if withdrawn else f"left {region.state.value}"
+        raise AwaitTimeoutError(
+            f"{kind} on region {region.name!r} (target {executor.name!r}) exceeded "
+            f"its {timeout}s deadline; region {state}",
+            self.diagnostic_dump(),
+        )
+
+    def _logical_barrier(
+        self,
+        region: TargetRegion,
+        executor: VirtualTarget,
+        timeout: float | None = None,
+    ) -> None:
         """Keep the encountering thread useful while *region* runs elsewhere.
 
         If the thread belongs to a virtual target, pump that target's queue
         ("T.processAnotherEventHandler()"); otherwise degrade to a blocking
-        wait (or raise, under ``strict_await_var``).
+        wait (or raise, under ``strict_await_var``).  *timeout* arms the
+        barrier watchdog: a barrier still spinning past its deadline raises
+        :class:`AwaitTimeoutError` with a full diagnostic dump instead of
+        pumping forever.
         """
         mine = current_target()
         if mine is None:
@@ -214,7 +314,8 @@ class PjRuntime:
                     "await used from a thread that belongs to no virtual target; "
                     "it would block instead of processing other events"
                 )
-            region.wait()
+            if not region.wait(timeout):
+                self._on_deadline(region, executor, timeout, kind="await")
             return
         if not mine.supports_pumping:
             raise RuntimeStateError(
@@ -223,8 +324,16 @@ class PjRuntime:
                 "as_future()/completion hooks instead of await"
             )
         region.add_done_callback(lambda _r: mine.wakeup())
+        deadline = None if timeout is None else time.monotonic() + timeout
         while not region.done:
-            mine.process_one(timeout=self.await_poll_var)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._on_deadline(region, mine, timeout, kind="await")
+                poll = min(self.await_poll_var, remaining)
+            else:
+                poll = self.await_poll_var
+            mine.process_one(timeout=poll)
 
     # ----------------------------------------------------------- directives
 
@@ -252,7 +361,11 @@ class PjRuntime:
                 "runtime; use an OpenMP implementation with accelerator support"
             )
         return self.invoke_target_block(
-            directive.target.name, region, directive.mode, tag=directive.tag
+            directive.target.name,
+            region,
+            directive.mode,
+            tag=directive.tag,
+            timeout=directive.timeout,
         )
 
     # ------------------------------------------------------------------ waits
@@ -267,9 +380,35 @@ class PjRuntime:
         mine = current_target()
         helper = None
         if mine is not None:
+            if not mine.supports_pumping:
+                # Same guard as the await logical barrier: pumping a foreign
+                # non-reentrant loop (e.g. asyncio) from inside one of its
+                # callbacks would re-enter it.  Fail with guidance instead.
+                raise RuntimeStateError(
+                    f"wait_tag({tag!r}) called from a member of virtual target "
+                    f"{mine.name!r}, which wraps an event loop that cannot be "
+                    "pumped re-entrantly; await the regions with as_future() "
+                    "(or join the tag from a pumpable thread) instead"
+                )
             poll = self.await_poll_var
             helper = lambda: mine.process_one(timeout=poll)  # noqa: E731
         self.tags.wait(tag, timeout=timeout, strict=strict, helper=helper)
+
+    # -------------------------------------------------------------- telemetry
+
+    def diagnostic_dump(self) -> str:
+        """Multi-line snapshot of every target: queue depth, capacity,
+        high-water mark, rejection counters, member threads.
+
+        Attached to :class:`AwaitTimeoutError` by the barrier watchdog so a
+        stuck system explains itself."""
+        with self._lock:
+            targets = list(self._targets.values())
+        lines = [f"runtime diagnostics ({len(targets)} target(s)):"]
+        lines.extend(f"  {t.describe()}" for t in targets)
+        with self._counters_lock:
+            lines.append(f"  dispatch counters: {dict(self.counters)}")
+        return "\n".join(lines)
 
 
 _default_runtime: PjRuntime | None = None

@@ -11,8 +11,8 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
-from .errors import RegionFailedError, TagError
-from .region import TargetRegion
+from .errors import RegionCancelledError, RegionFailedError, TagError
+from .region import RegionState, TargetRegion
 
 __all__ = ["TagRegistry"]
 
@@ -44,8 +44,16 @@ class TagRegistry:
                 if not live:
                     del self._outstanding[tag]
             if region.exception is not None:
+                # Includes regions cancelled *with a reason* (a drained
+                # target's lost work): wait_tag must surface those, while a
+                # bare cancel() stays a benign withdrawal.
+                err_cls = (
+                    RegionCancelledError
+                    if region.state is RegionState.CANCELLED
+                    else RegionFailedError
+                )
                 self._completed_with_error.setdefault(tag, []).append(
-                    RegionFailedError(region.name, region.exception)
+                    err_cls(region.name, region.exception)
                 )
             self._cond.notify_all()
 
@@ -110,9 +118,16 @@ class TagRegistry:
         with self._lock:
             return self._completed_with_error.pop(tag, [])
 
-    def clear(self) -> None:
+    def clear(self, *, keep_errors: bool = False) -> None:
+        """Forget all tag bookkeeping (waiters unblock as trivially complete).
+
+        ``keep_errors=True`` preserves recorded failures — runtime shutdown
+        uses it so waiters released by the teardown still learn that their
+        regions were cancelled rather than observing a clean join.
+        """
         with self._cond:
             self._outstanding.clear()
-            self._completed_with_error.clear()
+            if not keep_errors:
+                self._completed_with_error.clear()
             self._known.clear()
             self._cond.notify_all()

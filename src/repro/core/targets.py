@@ -22,16 +22,35 @@ import abc
 import logging
 import queue
 import threading
+import time
 from typing import Any, Callable
 
-from .errors import RuntimeStateError, TargetShutdownError
+from .errors import (
+    AwaitTimeoutError,
+    QueueFullError,
+    RuntimeStateError,
+    TargetShutdownError,
+)
 from .region import TargetRegion
 
-__all__ = ["VirtualTarget", "WorkerTarget", "EdtTarget", "current_target"]
+__all__ = [
+    "VirtualTarget",
+    "WorkerTarget",
+    "EdtTarget",
+    "current_target",
+    "REJECTION_POLICIES",
+]
 
 
 _thread_target = threading.local()
 _logger = logging.getLogger(__name__)
+
+#: Valid values for a target's bounded-queue rejection policy:
+#: ``block`` parks the poster until space frees (or its timeout elapses),
+#: ``reject`` raises :class:`QueueFullError` immediately, and
+#: ``caller_runs`` executes the item in the posting thread — the classic
+#: ThreadPoolExecutor.CallerRunsPolicy backpressure valve.
+REJECTION_POLICIES = ("block", "reject", "caller_runs")
 
 
 def current_target() -> "VirtualTarget | None":
@@ -51,6 +70,107 @@ class _Wakeup:
 _WAKEUP = _Wakeup()
 
 
+class _TargetQueue:
+    """The FIFO behind a virtual target, with optional capacity.
+
+    ``queue.Queue`` cannot express what shutdown needs: control sentinels
+    must always get through (a full queue would otherwise wedge shutdown
+    itself), and a teardown must be able to atomically rip out every queued
+    item to cancel it.  So this is a small purpose-built deque + condvars.
+
+    Capacity counts *work* items only; sentinels ride along uncounted via
+    :meth:`put_internal`.
+    """
+
+    def __init__(self, owner: str, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self._owner = owner
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self.high_water = 0
+
+    # ------------------------------------------------------------- producers
+
+    def _work_count(self) -> int:
+        return sum(1 for it in self._items if not isinstance(it, (_Wakeup, _Shutdown)))
+
+    def put(self, item: Any, *, block: bool = True, timeout: float | None = None) -> bool:
+        """Enqueue *item*; returns False if a bounded queue stayed full.
+
+        With ``block=True`` waits for space (bounded by *timeout*); raises
+        :class:`TargetShutdownError` if the queue closes while waiting, so a
+        poster blocked on a full queue cannot outlive the target.
+        """
+        with self._not_full:
+            if self.capacity is not None:
+                if block:
+                    ok = self._not_full.wait_for(
+                        lambda: self._closed or self._work_count() < self.capacity,
+                        timeout=timeout,
+                    )
+                    if self._closed:
+                        raise TargetShutdownError(self._owner)
+                    if not ok:
+                        return False
+                elif self._work_count() >= self.capacity:
+                    return False
+            if self._closed:
+                raise TargetShutdownError(self._owner)
+            self._items.append(item)
+            self.high_water = max(self.high_water, self._work_count())
+            self._not_empty.notify()
+        return True
+
+    def put_internal(self, item: Any) -> None:
+        """Enqueue a control sentinel, ignoring capacity and closure."""
+        with self._not_empty:
+            self._items.append(item)
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------- consumers
+
+    def get(self, timeout: float | None = None) -> Any:
+        with self._not_empty:
+            if not self._not_empty.wait_for(lambda: self._items, timeout=timeout):
+                raise queue.Empty
+            item = self._items.pop(0)
+            self._not_full.notify()
+            return item
+
+    def get_nowait(self) -> Any:
+        with self._not_empty:
+            if not self._items:
+                raise queue.Empty
+            item = self._items.pop(0)
+            self._not_full.notify()
+            return item
+
+    # -------------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Refuse further posts; wake blocked posters so they fail fast."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def drain_items(self) -> list[Any]:
+        """Atomically remove and return everything queued (teardown helper)."""
+        with self._lock:
+            items, self._items = self._items, []
+            self._not_full.notify_all()
+            return items
+
+    def qsize(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
 class VirtualTarget(abc.ABC):
     """Common behaviour of all virtual targets.
 
@@ -59,12 +179,35 @@ class VirtualTarget(abc.ABC):
     higher layers), and wakeup sentinels.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        queue_capacity: int | None = None,
+        rejection_policy: str = "block",
+    ) -> None:
+        if rejection_policy not in REJECTION_POLICIES:
+            raise ValueError(
+                f"unknown rejection policy {rejection_policy!r}; "
+                f"choose one of {', '.join(REJECTION_POLICIES)}"
+            )
         self.name = name
-        self._queue: queue.Queue[Any] = queue.Queue()
+        self.rejection_policy = rejection_policy
+        self._queue = _TargetQueue(name, queue_capacity)
         self._members: set[threading.Thread] = set()
         self._members_lock = threading.Lock()
         self._shutdown = threading.Event()
+        self._stats_lock = threading.Lock()
+        self._stats: dict[str, int] = {
+            "posted": 0,
+            "rejected": 0,
+            "caller_runs": 0,
+            "cancelled_on_shutdown": 0,
+        }
+
+    def _bump(self, key: str) -> None:
+        with self._stats_lock:
+            self._stats[key] += 1
 
     # ----------------------------------------------------------- membership
 
@@ -102,25 +245,98 @@ class VirtualTarget(abc.ABC):
 
     @abc.abstractmethod
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) join the member threads."""
+        """Stop accepting work; drain the backlog (``wait=True``) or cancel
+        it (``wait=False``) so no queued region is ever silently stranded."""
+
+    def _cancel_pending(self) -> int:
+        """Atomically pull every queued item and cancel it.
+
+        Queued :class:`TargetRegion` instances transition to ``CANCELLED``
+        with a :class:`TargetShutdownError` reason, so every waiter —
+        ``region.wait()/result()``, ``wait_tag``, ``await`` logical barriers —
+        unblocks promptly with a diagnosable error instead of deadlocking on
+        work that will never run.  Plain callables are dropped and logged.
+        Control sentinels are re-queued untouched.  Returns the number of
+        regions cancelled.
+        """
+        cancelled = 0
+        dropped = 0
+        reason = TargetShutdownError(self.name)
+        for item in self._queue.drain_items():
+            if item is _SHUTDOWN or item is _WAKEUP:
+                self._queue.put_internal(item)
+            elif isinstance(item, TargetRegion):
+                if item.cancel(reason):
+                    cancelled += 1
+                    self._bump("cancelled_on_shutdown")
+            else:
+                dropped += 1
+        if dropped:
+            _logger.warning(
+                "shutdown of target %r dropped %d queued callable(s)", self.name, dropped
+            )
+        return cancelled
 
     # --------------------------------------------------------------- posting
 
-    def post(self, item: TargetRegion | Callable[[], Any]) -> None:
+    def post(
+        self,
+        item: TargetRegion | Callable[[], Any],
+        *,
+        timeout: float | None = None,
+    ) -> None:
         """Enqueue a region or a plain callable for asynchronous execution
-        (Algorithm 1 line 8: ``E.post(B)``)."""
+        (Algorithm 1 line 8: ``E.post(B)``).
+
+        When the target has a bounded queue and it is full, the configured
+        :attr:`rejection_policy` decides: ``block`` parks the caller (up to
+        *timeout* seconds, then :class:`QueueFullError`), ``reject`` raises
+        :class:`QueueFullError` immediately, ``caller_runs`` executes *item*
+        synchronously in the posting thread.
+        """
         if self._shutdown.is_set():
             raise TargetShutdownError(self.name)
-        self._queue.put(item)
+        policy = self.rejection_policy
+        if policy == "block":
+            if not self._queue.put(item, block=True, timeout=timeout):
+                self._bump("rejected")
+                raise QueueFullError(self.name, self._queue.capacity)
+        elif policy == "reject":
+            if not self._queue.put(item, block=False):
+                self._bump("rejected")
+                raise QueueFullError(self.name, self._queue.capacity)
+        else:  # caller_runs
+            if not self._queue.put(item, block=False):
+                self._bump("caller_runs")
+                self._dispatch(item)
+                return
+        self._bump("posted")
 
     def wakeup(self) -> None:
         """Unblock one thread waiting on the queue without giving it work."""
-        self._queue.put(_WAKEUP)
+        self._queue.put_internal(_WAKEUP)
 
     @property
     def pending(self) -> int:
         """Approximate number of queued items (sentinels included)."""
         return self._queue.qsize()
+
+    @property
+    def queue_capacity(self) -> int | None:
+        return self._queue.capacity
+
+    @property
+    def high_water_mark(self) -> int:
+        """Deepest the work queue has ever been (backpressure telemetry)."""
+        return self._queue.high_water
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Snapshot of lifecycle counters (plus the high-water mark)."""
+        with self._stats_lock:
+            snap = dict(self._stats)
+        snap["high_water"] = self._queue.high_water
+        return snap
 
     # ------------------------------------------------------------ processing
 
@@ -142,7 +358,18 @@ class VirtualTarget(abc.ABC):
             item = self._queue.get(timeout=timeout)
         except queue.Empty:
             return False
-        if item is _WAKEUP or item is _SHUTDOWN:
+        if item is _SHUTDOWN:
+            # The sentinel is addressed to the *loop* (run_forever /
+            # _worker_loop), not to a thread pumping during an ``await``
+            # logical barrier.  Swallowing it here would leave the loop
+            # running forever once the barrier ends — re-post it.
+            self._queue.put_internal(_SHUTDOWN)
+            # Yield briefly: without this a pumping thread and its own
+            # re-post could spin get/put at full speed until the barrier
+            # region is cancelled or finishes.
+            time.sleep(0.001)
+            return False
+        if item is _WAKEUP:
             return False
         self._dispatch(item)
         return True
@@ -159,20 +386,56 @@ class VirtualTarget(abc.ABC):
             # plain callables get logged.
             _logger.exception("unhandled exception in %r posted to %s", item, self.name)
 
-    def pump_until(self, predicate: Callable[[], bool], poll: float = 0.05) -> None:
+    def pump_until(
+        self,
+        predicate: Callable[[], bool],
+        poll: float = 0.05,
+        *,
+        timeout: float | None = None,
+    ) -> None:
         """Process queued work in the calling thread until *predicate* holds.
 
         The calling thread must belong to this target; this is the logical
         barrier of Algorithm 1 (lines 13-16).  *poll* bounds the wait per
         iteration so the predicate is re-checked even without a wakeup.
+        With a *timeout*, a barrier stuck past its deadline raises
+        :class:`AwaitTimeoutError` carrying this target's diagnostics instead
+        of pumping forever.
         """
         if not self.contains():
             raise RuntimeStateError(
                 f"thread {threading.current_thread().name!r} does not belong to "
                 f"virtual target {self.name!r} and cannot pump its queue"
             )
+        deadline = None if timeout is None else time.monotonic() + timeout
         while not predicate():
-            self.process_one(timeout=poll)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise AwaitTimeoutError(
+                        f"logical barrier on target {self.name!r} exceeded its "
+                        f"{timeout}s deadline",
+                        self.describe(),
+                    )
+                poll_step = min(poll, remaining)
+            else:
+                poll_step = poll
+            self.process_one(timeout=poll_step)
+
+    def describe(self) -> str:
+        """One-line diagnostic: queue depth, capacity, members, counters."""
+        with self._members_lock:
+            members = sorted(t.name for t in self._members)
+        stats = self.stats
+        cap = "unbounded" if self._queue.capacity is None else str(self._queue.capacity)
+        return (
+            f"target {self.name!r} ({type(self).__name__}) "
+            f"alive={self.alive} queued={self.pending} capacity={cap} "
+            f"high_water={stats['high_water']} posted={stats['posted']} "
+            f"rejected={stats['rejected']} caller_runs={stats['caller_runs']} "
+            f"cancelled_on_shutdown={stats['cancelled_on_shutdown']} "
+            f"members={members}"
+        )
 
     def drain(self) -> int:
         """Process queued items in the calling thread until the queue is empty.
@@ -186,7 +449,12 @@ class VirtualTarget(abc.ABC):
                 item = self._queue.get_nowait()
             except queue.Empty:
                 return count
-            if item is _WAKEUP or item is _SHUTDOWN:
+            if item is _SHUTDOWN:
+                # Leave the sentinel for the loop that owns it (re-queue
+                # rather than swallow); everything before it has drained.
+                self._queue.put_internal(_SHUTDOWN)
+                return count
+            if item is _WAKEUP:
                 continue
             self._dispatch(item)
             count += 1
@@ -201,10 +469,20 @@ class WorkerTarget(VirtualTarget):
     Created by ``virtual_target_create_worker(tname, m)`` (paper Table II).
     """
 
-    def __init__(self, name: str, max_threads: int, *, daemon: bool = True) -> None:
+    def __init__(
+        self,
+        name: str,
+        max_threads: int,
+        *,
+        daemon: bool = True,
+        queue_capacity: int | None = None,
+        rejection_policy: str = "block",
+    ) -> None:
         if max_threads < 1:
             raise ValueError(f"worker target needs at least 1 thread, got {max_threads}")
-        super().__init__(name)
+        super().__init__(
+            name, queue_capacity=queue_capacity, rejection_policy=rejection_policy
+        )
         self.max_threads = max_threads
         self._threads: list[threading.Thread] = []
         for i in range(max_threads):
@@ -231,11 +509,22 @@ class WorkerTarget(VirtualTarget):
             self._exit_member()
 
     def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool.
+
+        ``wait=True`` drains: the backlog queued before shutdown still runs
+        (sentinels queue FIFO behind it) and the member threads are joined.
+        ``wait=False`` cancels: every still-queued region transitions to
+        ``CANCELLED`` (failing its waiters fast) and the threads are left to
+        exit on their own.
+        """
         if self._shutdown.is_set():
             return
         self._shutdown.set()
+        if not wait:
+            self._queue.close()
+            self._cancel_pending()
         for _ in self._threads:
-            self._queue.put(_SHUTDOWN)
+            self._queue.put_internal(_SHUTDOWN)
         if wait:
             for t in self._threads:
                 if t is not threading.current_thread():
@@ -267,9 +556,18 @@ class EdtTarget(VirtualTarget):
       :meth:`run_forever`.
     """
 
-    def __init__(self, name: str) -> None:
-        super().__init__(name)
+    def __init__(
+        self,
+        name: str,
+        *,
+        queue_capacity: int | None = None,
+        rejection_policy: str = "block",
+    ) -> None:
+        super().__init__(
+            name, queue_capacity=queue_capacity, rejection_policy=rejection_policy
+        )
         self._edt_thread: threading.Thread | None = None
+        self._loop_started = threading.Event()
         self._stopped = threading.Event()
 
     # ------------------------------------------------------------- binding
@@ -314,6 +612,7 @@ class EdtTarget(VirtualTarget):
         Must run on the bound thread.
         """
         self._require_edt()
+        self._loop_started.set()
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
@@ -330,14 +629,26 @@ class EdtTarget(VirtualTarget):
             )
 
     def shutdown(self, wait: bool = True) -> None:
+        """Stop the dispatch loop.
+
+        ``wait=True`` lets already-queued events/regions run before the loop
+        exits, then waits for loop acknowledgement; ``wait=False`` cancels
+        the backlog so waiters fail fast.  A *registered* EDT whose loop was
+        never driven (``run_forever`` not called) is not waited on at all —
+        its liveness is the owning application's business, and blocking 5 s
+        on a loop that never started was pure stall.
+        """
         if self._shutdown.is_set():
             return
         self._shutdown.set()
-        self._queue.put(_SHUTDOWN)
+        if not wait:
+            self._queue.close()
+            self._cancel_pending()
+        self._queue.put_internal(_SHUTDOWN)
         if wait and self._edt_thread is not None:
             if self._edt_thread is threading.current_thread():
                 return
-            # A registered (not spawned) EDT may never call run_forever();
-            # bound-thread liveness is the caller's business, so only wait for
-            # loop acknowledgement briefly.
+            if not self._loop_started.is_set():
+                # The loop never ran; nothing will ever acknowledge.
+                return
             self._stopped.wait(timeout=5.0)

@@ -31,14 +31,23 @@ class EventLoop:
         Virtual-target name of the EDT (directives say ``virtual(<name>)``).
     """
 
-    def __init__(self, runtime: PjRuntime, name: str = "edt") -> None:
+    def __init__(
+        self,
+        runtime: PjRuntime,
+        name: str = "edt",
+        *,
+        queue_capacity: int | None = None,
+        rejection_policy: str | None = None,
+    ) -> None:
         self.runtime = runtime
         self.name = name
         self._listeners: dict[str, list[Callable[[Event], Any]]] = {}
         self._listeners_lock = threading.Lock()
         self._records: list[EventRecord] = []
         self._records_lock = threading.Lock()
-        self.target: EdtTarget = runtime.start_edt(name)
+        self.target: EdtTarget = runtime.start_edt(
+            name, queue_capacity=queue_capacity, rejection_policy=rejection_policy
+        )
 
     # ------------------------------------------------------------- listeners
 
@@ -138,5 +147,7 @@ class EventLoop:
     def is_edt(self) -> bool:
         return self.target.contains()
 
-    def shutdown(self) -> None:
-        self.runtime.unregister_target(self.name)
+    def shutdown(self, wait: bool = False) -> None:
+        """Stop the loop.  ``wait=True`` lets queued events dispatch first;
+        the default cancels the backlog so pending handlers fail fast."""
+        self.runtime.unregister_target(self.name, wait=wait)

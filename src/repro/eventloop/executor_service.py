@@ -15,6 +15,7 @@ import threading
 import time
 from typing import Any, Callable, Iterable
 
+from ..core.errors import QueueFullError
 from ..core.region import TargetRegion
 
 __all__ = ["Future", "ExecutorService", "new_fixed_thread_pool", "ThreadPerRequestExecutor"]
@@ -35,6 +36,11 @@ class Future:
     def cancel(self) -> bool:
         return self._region.cancel()
 
+    def request_cancel(self) -> bool:
+        """Cooperative cancel: withdraw if still queued, otherwise flag the
+        region's cancel token for the running body to poll."""
+        return self._region.request_cancel()
+
     def add_done_callback(self, cb: Callable[[TargetRegion], None]) -> None:
         self._region.add_done_callback(cb)
 
@@ -44,10 +50,23 @@ class ExecutorService:
 
     _pool_ids = itertools.count()
 
-    def __init__(self, n_threads: int, name: str | None = None) -> None:
+    def __init__(
+        self,
+        n_threads: int,
+        name: str | None = None,
+        *,
+        queue_capacity: int | None = None,
+        rejection_policy: str = "block",
+    ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one thread")
+        if rejection_policy not in ("block", "reject", "caller_runs"):
+            raise ValueError(f"unknown rejection policy {rejection_policy!r}")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {queue_capacity}")
         self.name = name or f"executor-{next(self._pool_ids)}"
+        self.queue_capacity = queue_capacity
+        self.rejection_policy = rejection_policy
         self._queue: "list[TargetRegion]" = []
         self._cond = threading.Condition()
         self._shutdown = False
@@ -68,6 +87,9 @@ class ExecutorService:
                     return
                 region = self._queue.pop(0)
                 self._active += 1
+                # A queue slot just freed: wake submitters blocked on a
+                # bounded queue without waiting for the region to finish.
+                self._cond.notify_all()
             try:
                 region.run()
             finally:
@@ -79,11 +101,29 @@ class ExecutorService:
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         region = TargetRegion(fn, *args, **kwargs)
+        run_in_caller = False
         with self._cond:
             if self._shutdown:
                 raise RuntimeError(f"executor {self.name} is shut down")
-            self._queue.append(region)
-            self._cond.notify()
+            if self.queue_capacity is not None and len(self._queue) >= self.queue_capacity:
+                # Same three policies as VirtualTarget.post (Java's
+                # RejectedExecutionHandler family).
+                if self.rejection_policy == "reject":
+                    raise QueueFullError(self.name, self.queue_capacity)
+                if self.rejection_policy == "caller_runs":
+                    run_in_caller = True
+                else:  # block
+                    self._cond.wait_for(
+                        lambda: self._shutdown
+                        or len(self._queue) < self.queue_capacity
+                    )
+                    if self._shutdown:
+                        raise RuntimeError(f"executor {self.name} is shut down")
+            if not run_in_caller:
+                self._queue.append(region)
+                self._cond.notify()
+        if run_in_caller:
+            region.run()
         return Future(region)
 
     def invoke_all(

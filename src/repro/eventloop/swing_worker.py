@@ -134,6 +134,10 @@ class SwingWorker(Generic[T, V]):
         if self._future is None:
             return True
         withdrawn = self._future.cancel()
+        if not withdrawn:
+            # Already running: flag the region's cooperative cancel token too,
+            # so bodies polling current_region() (not the worker) also see it.
+            self._future.request_cancel()
         if withdrawn:
             # The background body never runs, so its finally-hook never
             # posts done(); do it here.
