@@ -23,13 +23,17 @@ sim
 adapters
     Bindings to other event frameworks (asyncio), per the paper's future
     work, including async-I/O offloading.
+obs
+    Structured event tracing and metrics: per-thread ring-buffer recorders,
+    the REGION_SUBMIT→ENQUEUE→DEQUEUE→EXEC taxonomy, Chrome-trace/Perfetto
+    export, latency histograms (see docs/OBSERVABILITY.md).
 cli
     ``python -m repro`` — regenerate figures, render occupancy timelines,
-    compile files.
+    compile files, record traces (``trace`` subcommand).
 """
 
 __version__ = "1.0.0"
 
-from . import core
+from . import core, obs
 
-__all__ = ["core", "__version__"]
+__all__ = ["core", "obs", "__version__"]

@@ -29,7 +29,9 @@ from typing import Any, Callable
 from ..core.errors import QueueFullError, RuntimeStateError, TargetShutdownError
 from ..core.region import TargetRegion
 from ..core.runtime import PjRuntime
-from ..core.targets import VirtualTarget
+from ..core.targets import VirtualTarget, _item_identity
+from ..obs import EventKind
+from ..obs import recorder as _obs
 
 __all__ = ["AsyncioEdtTarget", "register_asyncio_edt", "as_future", "run_blocking_io"]
 
@@ -89,6 +91,12 @@ class AsyncioEdtTarget(VirtualTarget):
                 return  # caller_runs executed it synchronously
             self.loop.call_soon_threadsafe(lambda: self._run_tracked(item))
         else:
+            session = _obs.session()
+            if session.enabled:
+                region, label = _item_identity(item)
+                session.emit(
+                    EventKind.ENQUEUE, target=self.name, region=region, name=label
+                )
             self.loop.call_soon_threadsafe(lambda: self._dispatch(item))
 
     def _admit(self, region: TargetRegion, timeout: float | None) -> bool:
@@ -120,7 +128,7 @@ class AsyncioEdtTarget(VirtualTarget):
             else:
                 self._track(region)
                 return True
-        self._dispatch(region)  # caller_runs
+        self._dispatch(region, dequeued=False)  # caller_runs
         return False
 
     def _track(self, region: TargetRegion) -> None:
@@ -128,6 +136,21 @@ class AsyncioEdtTarget(VirtualTarget):
         self._inflight.add(region)
         self._queue.high_water = max(self._queue.high_water, len(self._inflight))
         self._bump("posted")
+        session = _obs.session()
+        if session.enabled:
+            # The loop's internal callback queue is opaque; the in-flight
+            # shadow set is this adapter's queue for tracing purposes too.
+            session.emit(
+                EventKind.ENQUEUE, target=self.name, region=region.seq,
+                name=region.label,
+            )
+            session.emit(
+                EventKind.QUEUE_DEPTH, target=self.name, arg=len(self._inflight)
+            )
+
+    def _depth(self) -> int:
+        with self._inflight_cond:
+            return len(self._inflight)
 
     def _run_tracked(self, region: TargetRegion) -> None:
         try:

@@ -204,6 +204,46 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a script under event tracing; export a Chrome/Perfetto trace.
+
+    ``python -m repro trace examples/traced_gui_pipeline.py -o trace.json``
+    then open the file at https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    import runpy
+
+    from . import obs
+
+    obs.enable(buffer_size=args.buffer)
+    old_argv = sys.argv
+    sys.argv = [args.script, *args.args]
+    try:
+        try:
+            runpy.run_path(args.script, run_name="__main__")
+        except SystemExit as exc:  # scripts may sys.exit(); keep the trace
+            if exc.code not in (None, 0):
+                print(f"script exited with {exc.code}", file=sys.stderr)
+        except OSError as exc:
+            print(f"cannot run {args.script}: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        sys.argv = old_argv
+        obs.disable()
+    events = obs.session().events()
+    obs.write_chrome_trace(args.output, events)
+    stats = obs.session().stats()
+    print(
+        f"wrote {args.output}: {len(events)} event(s) from "
+        f"{stats['threads']} thread(s), {stats['dropped']} dropped "
+        f"(open in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    if args.timeline:
+        print(obs.to_text_timeline(events))
+    if args.metrics:
+        print(obs.format_metrics(obs.compute_metrics(events)))
+    return 0
+
+
 def cmd_kernels(args: argparse.Namespace) -> int:
     print(f"{'kernel':>12} | {'size':>8} | {'valid':>5} | {'t (ms)':>8} | paper | description")
     for name in sorted(KERNELS):
@@ -272,6 +312,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("kernels", help="validate and time the kernel suite")
     p.add_argument("--size", choices=["A", "B", "C"], default="A")
     p.set_defaults(func=cmd_kernels)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a script under event tracing; export a Chrome/Perfetto trace",
+    )
+    p.add_argument("script", help="python script to run (e.g. an example)")
+    p.add_argument("args", nargs="*", help="arguments passed to the script")
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="Chrome trace-event JSON output path")
+    p.add_argument("--buffer", type=int, default=None,
+                   help="per-thread ring-buffer capacity (events)")
+    p.add_argument("--timeline", action="store_true",
+                   help="also print the plain-text timeline")
+    p.add_argument("--metrics", action="store_true",
+                   help="also print latency histograms (p50/p95/p99)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "compile", help="source-to-source compile a file's #omp pragmas"

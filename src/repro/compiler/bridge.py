@@ -52,11 +52,16 @@ def run_on(
     condition: bool = True,
     runtime: PjRuntime | None = None,
     timeout: float | None = None,
+    source: str | None = None,
 ):
-    """Target-block dispatch used by compiled ``#omp target`` pragmas."""
+    """Target-block dispatch used by compiled ``#omp target`` pragmas.
+
+    *source* is the pragma's ``file:line``, stamped by the compiler so trace
+    spans name the user's code location rather than a generated closure.
+    """
     return _run_on(
         target, body, mode=mode, tag=tag, condition=condition, runtime=runtime,
-        timeout=timeout,
+        timeout=timeout, source=source,
     )
 
 

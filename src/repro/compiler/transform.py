@@ -391,6 +391,9 @@ class OmpTransformer:
             "tag": const(directive.tag),
             "condition": condition,
             "runtime": runtime_arg(),
+            # Provenance stamp: trace spans (repro.obs) name the pragma's
+            # source location instead of the generated closure.
+            "source": const(f"{self.filename}:{d.line}"),
         }
         if directive.timeout is not None:
             keywords["timeout"] = const(directive.timeout)

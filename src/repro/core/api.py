@@ -89,6 +89,7 @@ def run_on(
     condition: bool = True,
     timeout: float | None = None,
     runtime: PjRuntime | None = None,
+    source: str | None = None,
     **kwargs: Any,
 ) -> TargetRegion:
     """Execute *body* as a target block on the named virtual target.
@@ -106,9 +107,13 @@ def run_on(
     exception from the body has been re-raised; *timeout* bounds those waits
     (the ``timeout(...)`` clause) and raises
     :class:`~repro.core.errors.AwaitTimeoutError` past the deadline.
+
+    *source* optionally stamps the region with ``file:line`` provenance so
+    trace spans (``repro.obs``) carry the user's code location; the
+    source-to-source compiler fills it from the pragma position.
     """
     rt = runtime or default_runtime()
-    region = TargetRegion(body, *args, **kwargs)
+    region = TargetRegion(body, *args, source=source, **kwargs)
     if not condition:
         region.run()
         region.result()

@@ -14,11 +14,14 @@ import itertools
 import threading
 from typing import Any, Callable
 
+from ..obs import EventKind
+from ..obs import recorder as _trace
 from .errors import RegionCancelledError, RegionFailedError
 
 __all__ = ["RegionState", "TargetRegion", "CancelToken", "current_region"]
 
 _region_counter = itertools.count()
+_region_seq = itertools.count()
 _current_region = threading.local()
 
 
@@ -102,11 +105,15 @@ class TargetRegion:
     name:
         Debug name.  The compiler generates ``TargetRegion_<n>`` names
         mirroring Pyjama's generated classes.
+    source:
+        Optional ``file:line`` provenance stamp.  The source-to-source
+        compiler fills it from the pragma location so trace spans carry the
+        user's code location, not a generated closure name.
     """
 
     __slots__ = (
-        "body", "args", "kwargs", "name", "_state", "_result", "_exception",
-        "_done", "_lock", "_callbacks", "cancel_token",
+        "body", "args", "kwargs", "name", "source", "seq", "_state", "_result",
+        "_exception", "_done", "_lock", "_callbacks", "cancel_token",
     )
 
     def __init__(
@@ -114,12 +121,16 @@ class TargetRegion:
         body: Callable[..., Any],
         *args: Any,
         name: str | None = None,
+        source: str | None = None,
         **kwargs: Any,
     ) -> None:
         self.body = body
         self.args = args
         self.kwargs = kwargs
         self.name = name or f"TargetRegion_{next(_region_counter)}"
+        self.source = source
+        #: Process-unique id correlating this region's trace events.
+        self.seq = next(_region_seq)
         self._state = RegionState.PENDING
         self._result: Any = None
         self._exception: BaseException | None = None
@@ -141,6 +152,13 @@ class TargetRegion:
     @property
     def exception(self) -> BaseException | None:
         return self._exception
+
+    @property
+    def label(self) -> str:
+        """Trace label: the debug name plus the compiler's source stamp."""
+        if self.source:
+            return f"{self.name}@{self.source}"
+        return self.name
 
     def cancel(self, reason: BaseException | None = None) -> bool:
         """Cancel the region if it has not started running.
@@ -164,6 +182,13 @@ class TargetRegion:
             self._callbacks.clear()
         self.cancel_token.set()
         self._done.set()
+        if _trace.is_enabled():
+            _trace.emit(
+                EventKind.CANCEL,
+                region=self.seq,
+                name=self.label,
+                arg=type(reason).__name__ if reason is not None else None,
+            )
         for cb in callbacks:
             cb(self)
         return True

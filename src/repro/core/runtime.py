@@ -21,6 +21,8 @@ import threading
 import time
 from typing import Any, Callable
 
+from ..obs import EventKind
+from ..obs import recorder as _obs
 from .directives import SchedulingMode, TargetDirective, TargetKind
 from .errors import (
     AwaitTimeoutError,
@@ -56,6 +58,10 @@ class PjRuntime:
       (``block`` / ``reject`` / ``caller_runs``).
     * ``default_timeout_var`` — default deadline (seconds) applied to waiting
       dispatches when the directive/call gives none (None = wait forever).
+    * ``trace_enabled_var`` — event tracing on/off.  Tracing state is
+      process-global (one :class:`~repro.obs.TraceSession` spans every
+      runtime, like ``OMP_TOOL`` spans every device); this ICV is the
+      runtime-level view of that switch, also settable via ``REPRO_TRACE=1``.
     """
 
     def __init__(self) -> None:
@@ -85,6 +91,21 @@ class PjRuntime:
         with self._counters_lock:
             for k in keys:
                 self.counters[k] += 1
+
+    # ------------------------------------------------------------ tracing ICV
+
+    @property
+    def trace_enabled_var(self) -> bool:
+        """Whether the process-global trace session is recording."""
+        return _obs.is_enabled()
+
+    @trace_enabled_var.setter
+    def trace_enabled_var(self, value: bool) -> None:
+        if value:
+            if not _obs.is_enabled():
+                _obs.enable()
+        else:
+            _obs.disable()
 
     def reset_counters(self) -> None:
         with self._counters_lock:
@@ -244,10 +265,32 @@ class PjRuntime:
             raise UnknownTargetError("<default>")
         executor = self.get_target(name)
 
+        session = _obs.session()
+        if session.enabled:
+            session.emit(
+                EventKind.REGION_SUBMIT, target=name, region=region.seq,
+                name=region.label, arg=mode.value,
+            )
+
         if executor.contains():
             # Line 6-7: already in the target's context -> run synchronously.
             self._count("inline", mode.value)
+            if session.enabled:
+                session.emit(
+                    EventKind.INLINE_ELIDE, target=name, region=region.seq,
+                    name=region.label,
+                )
+                session.emit(
+                    EventKind.EXEC_BEGIN, target=name, region=region.seq,
+                    name=region.label,
+                )
             region.run()
+            if session.enabled:
+                session.emit(
+                    EventKind.EXEC_END, target=name, region=region.seq,
+                    name=region.label,
+                    arg="failed" if region.exception is not None else "completed",
+                )
             if mode in (SchedulingMode.DEFAULT, SchedulingMode.AWAIT):
                 region.result()  # re-raise body exception for waiting modes
             return region
@@ -324,16 +367,33 @@ class PjRuntime:
                 "as_future()/completion hooks instead of await"
             )
         region.add_done_callback(lambda _r: mine.wakeup())
+        session = _obs.session()
+        if session.enabled:
+            session.emit(
+                EventKind.BARRIER_ENTER, target=mine.name, region=region.seq,
+                name=region.label,
+            )
         deadline = None if timeout is None else time.monotonic() + timeout
-        while not region.done:
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    self._on_deadline(region, mine, timeout, kind="await")
-                poll = min(self.await_poll_var, remaining)
-            else:
-                poll = self.await_poll_var
-            mine.process_one(timeout=poll)
+        try:
+            while not region.done:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._on_deadline(region, mine, timeout, kind="await")
+                    poll = min(self.await_poll_var, remaining)
+                else:
+                    poll = self.await_poll_var
+                if mine.process_one(timeout=poll) and session.enabled:
+                    session.emit(
+                        EventKind.PUMP_STEAL, target=mine.name, region=region.seq,
+                        name=region.label,
+                    )
+        finally:
+            if session.enabled:
+                session.emit(
+                    EventKind.BARRIER_EXIT, target=mine.name, region=region.seq,
+                    name=region.label,
+                )
 
     # ----------------------------------------------------------- directives
 
@@ -392,7 +452,20 @@ class PjRuntime:
                 )
             poll = self.await_poll_var
             helper = lambda: mine.process_one(timeout=poll)  # noqa: E731
-        self.tags.wait(tag, timeout=timeout, strict=strict, helper=helper)
+        session = _obs.session()
+        if session.enabled:
+            session.emit(
+                EventKind.TAG_WAIT_BEGIN,
+                target=mine.name if mine is not None else None, name=tag,
+            )
+        try:
+            self.tags.wait(tag, timeout=timeout, strict=strict, helper=helper)
+        finally:
+            if session.enabled:
+                session.emit(
+                    EventKind.TAG_WAIT_END,
+                    target=mine.name if mine is not None else None, name=tag,
+                )
 
     # -------------------------------------------------------------- telemetry
 
@@ -408,6 +481,7 @@ class PjRuntime:
         lines.extend(f"  {t.describe()}" for t in targets)
         with self._counters_lock:
             lines.append(f"  dispatch counters: {dict(self.counters)}")
+        lines.append(f"  {_obs.session().describe()}")
         return "\n".join(lines)
 
 

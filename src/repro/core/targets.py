@@ -25,6 +25,9 @@ import threading
 import time
 from typing import Any, Callable
 
+from ..obs import EventKind
+from ..obs import recorder as _obs
+from ..obs.events import now_ns
 from .errors import (
     AwaitTimeoutError,
     QueueFullError,
@@ -68,6 +71,24 @@ class _Wakeup:
 
 
 _WAKEUP = _Wakeup()
+
+
+def _item_identity(item: Any) -> tuple[int | None, str]:
+    """(region id, trace label) of a queued item.
+
+    Regions carry their own ``seq``/``label``; plain callables may be stamped
+    by higher layers (the event loop tags dispatch closures with
+    ``_trace_id``/``_trace_name`` so GUI events correlate too).
+    """
+    if isinstance(item, TargetRegion):
+        return item.seq, item.label
+    rid = getattr(item, "_trace_id", None)
+    label = (
+        getattr(item, "_trace_name", None)
+        or getattr(item, "__qualname__", None)
+        or type(item).__name__
+    )
+    return rid, label
 
 
 class _TargetQueue:
@@ -169,6 +190,11 @@ class _TargetQueue:
     def qsize(self) -> int:
         with self._lock:
             return len(self._items)
+
+    def work_count(self) -> int:
+        """Queued *work* items (sentinels excluded) — the queue-depth sample."""
+        with self._lock:
+            return self._work_count()
 
 
 class VirtualTarget(abc.ABC):
@@ -296,21 +322,37 @@ class VirtualTarget(abc.ABC):
         """
         if self._shutdown.is_set():
             raise TargetShutdownError(self.name)
+        # Timestamp *before* the (possibly blocking) put: the consumer may
+        # dequeue the instant the item lands, and its DEQUEUE stamp must sort
+        # after this ENQUEUE stamp on the shared perf_counter_ns clock.
+        session = _obs.session()
+        enq_ts = now_ns() if session.enabled else 0
         policy = self.rejection_policy
         if policy == "block":
             if not self._queue.put(item, block=True, timeout=timeout):
                 self._bump("rejected")
+                self._trace_reject(item, session)
                 raise QueueFullError(self.name, self._queue.capacity)
         elif policy == "reject":
             if not self._queue.put(item, block=False):
                 self._bump("rejected")
+                self._trace_reject(item, session)
                 raise QueueFullError(self.name, self._queue.capacity)
         else:  # caller_runs
             if not self._queue.put(item, block=False):
                 self._bump("caller_runs")
-                self._dispatch(item)
+                self._dispatch(item, dequeued=False)
                 return
         self._bump("posted")
+        if session.enabled:
+            region, label = _item_identity(item)
+            session.emit(
+                EventKind.ENQUEUE, target=self.name, region=region, name=label,
+                ts=enq_ts,
+            )
+            session.emit(
+                EventKind.QUEUE_DEPTH, target=self.name, arg=self._depth()
+            )
 
     def wakeup(self) -> None:
         """Unblock one thread waiting on the queue without giving it work."""
@@ -374,7 +416,51 @@ class VirtualTarget(abc.ABC):
         self._dispatch(item)
         return True
 
-    def _dispatch(self, item: Any) -> None:
+    def _depth(self) -> int:
+        """Current queue-depth sample (work items only; adapters override)."""
+        return self._queue.work_count()
+
+    def _trace_reject(self, item: Any, session: "_obs.TraceSession") -> None:
+        if session.enabled:
+            region, label = _item_identity(item)
+            session.emit(EventKind.REJECT, target=self.name, region=region, name=label)
+
+    def _dispatch(self, item: Any, *, dequeued: bool = True) -> None:
+        session = _obs.session()
+        if session.enabled:
+            region, label = _item_identity(item)
+            if dequeued:
+                session.emit(
+                    EventKind.DEQUEUE, target=self.name, region=region, name=label
+                )
+                session.emit(
+                    EventKind.QUEUE_DEPTH, target=self.name, arg=self._depth()
+                )
+            if isinstance(item, TargetRegion) and item.done:
+                # Withdrawn (cancelled) while queued: the dequeue discards a
+                # corpse, nothing executes — an EXEC span here would lie.
+                self._run_item(item)
+                return
+            session.emit(
+                EventKind.EXEC_BEGIN, target=self.name, region=region, name=label
+            )
+            outcome = "completed"
+            try:
+                self._run_item(item)
+                if isinstance(item, TargetRegion) and item.exception is not None:
+                    outcome = "failed"
+            except Exception:  # pragma: no cover - _run_item never raises
+                outcome = "failed"
+                raise
+            finally:
+                session.emit(
+                    EventKind.EXEC_END, target=self.name, region=region, name=label,
+                    arg=outcome,
+                )
+            return
+        self._run_item(item)
+
+    def _run_item(self, item: Any) -> None:
         if isinstance(item, TargetRegion):
             item.run()  # regions capture their own exceptions
             return
@@ -407,20 +493,34 @@ class VirtualTarget(abc.ABC):
                 f"thread {threading.current_thread().name!r} does not belong to "
                 f"virtual target {self.name!r} and cannot pump its queue"
             )
+        session = _obs.session()
+        if session.enabled:
+            session.emit(EventKind.BARRIER_ENTER, target=self.name, name="pump_until")
+        # Deadline math uses time.monotonic() (the runtime-wide convention for
+        # deadlines); only trace timestamps use the perf_counter_ns clock.
         deadline = None if timeout is None else time.monotonic() + timeout
-        while not predicate():
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise AwaitTimeoutError(
-                        f"logical barrier on target {self.name!r} exceeded its "
-                        f"{timeout}s deadline",
-                        self.describe(),
+        try:
+            while not predicate():
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise AwaitTimeoutError(
+                            f"logical barrier on target {self.name!r} exceeded its "
+                            f"{timeout}s deadline",
+                            self.describe(),
+                        )
+                    poll_step = min(poll, remaining)
+                else:
+                    poll_step = poll
+                if self.process_one(timeout=poll_step) and session.enabled:
+                    session.emit(
+                        EventKind.PUMP_STEAL, target=self.name, name="pump_until"
                     )
-                poll_step = min(poll, remaining)
-            else:
-                poll_step = poll
-            self.process_one(timeout=poll_step)
+        finally:
+            if session.enabled:
+                session.emit(
+                    EventKind.BARRIER_EXIT, target=self.name, name="pump_until"
+                )
 
     def describe(self) -> str:
         """One-line diagnostic: queue depth, capacity, members, counters."""

@@ -15,6 +15,8 @@ from typing import Any, Callable
 
 from ..core.runtime import PjRuntime
 from ..core.targets import EdtTarget
+from ..obs import EventKind
+from ..obs import recorder as _obs
 from .events import Event, EventRecord
 
 __all__ = ["EventLoop"]
@@ -97,6 +99,21 @@ class EventLoop:
             if not deferred:
                 record.mark_finished()
 
+        # Trace identity: GUI events ride the same queue as target regions;
+        # stamping the closure makes them named, correlated spans in the
+        # trace (ENQUEUE -> DEQUEUE -> EXEC on the EDT track) rather than
+        # anonymous callables.  The negative id space keeps synthetic GUI
+        # event ids disjoint from TargetRegion.seq.
+        dispatch._trace_name = f"event:{event.name}"  # type: ignore[attr-defined]
+        dispatch._trace_id = -(event.event_id + 1)  # type: ignore[attr-defined]
+        session = _obs.session()
+        if session.enabled:
+            session.emit(
+                EventKind.REGION_SUBMIT, target=self.name,
+                region=dispatch._trace_id,  # type: ignore[attr-defined]
+                name=dispatch._trace_name,  # type: ignore[attr-defined]
+                arg="event",
+            )
         self.target.post(dispatch)
         return record
 

@@ -1,0 +1,25 @@
+"""Trace-session isolation: the obs session is process-global, so every
+test in this package gets a fresh recording window and leaves the session
+disabled and empty for the rest of the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_session():
+    obs.disable()
+    obs.session().clear()
+    yield
+    obs.disable()
+    obs.session().clear()
+    obs.session().buffer_size = obs.DEFAULT_BUFFER_SIZE
+
+
+@pytest.fixture()
+def tracing(_clean_session):
+    """An enabled trace session, torn down by ``_clean_session``."""
+    return obs.enable()

@@ -1,0 +1,115 @@
+"""Chrome trace-event JSON schema checks: the file must be loadable by
+Perfetto / chrome://tracing, with per-target process tracks, complete
+slices, flow arrows and counters."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import EventKind, to_chrome_trace, to_text_timeline, write_chrome_trace
+
+
+@pytest.fixture()
+def traced_run(tracing, worker_rt):
+    regions = [
+        worker_rt.invoke_target_block("worker", lambda: time.sleep(0.002))
+        for _ in range(4)
+    ]
+    obs.disable()
+    return regions, obs.session().events()
+
+
+def test_document_shape(traced_run):
+    _, events = traced_run
+    doc = to_chrome_trace(events)
+    assert isinstance(doc["traceEvents"], list)
+    assert doc["displayTimeUnit"] == "ms"
+    for entry in doc["traceEvents"]:
+        assert entry["ph"] in ("M", "X", "i", "s", "f", "C")
+        assert "pid" in entry and "tid" in entry
+        if entry["ph"] != "M":
+            assert isinstance(entry["ts"], (int, float))
+
+
+def test_one_process_track_per_target(traced_run):
+    _, events = traced_run
+    doc = to_chrome_trace(events)
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert "target worker" in names
+    thread_meta = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert thread_meta  # worker threads and the posting thread are labelled
+
+
+def test_exec_slices_are_complete_events(traced_run):
+    regions, events = traced_run
+    doc = to_chrome_trace(events)
+    slices = [
+        e for e in doc["traceEvents"] if e["ph"] == "X" and e["name"].startswith("run ")
+    ]
+    assert len(slices) == len(regions)
+    for s in slices:
+        assert s["dur"] > 0
+        assert s["args"]["outcome"] == "completed"
+
+
+def test_flow_arrows_pair_submit_to_exec(traced_run):
+    _, events = traced_run
+    doc = to_chrome_trace(events)
+    starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+    finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+    assert starts and len(starts) == len(finishes)
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+    for f in finishes:
+        assert f["bp"] == "e"
+
+
+def test_counter_tracks_queue_depth(traced_run):
+    _, events = traced_run
+    doc = to_chrome_trace(events)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert counters
+    for c in counters:
+        assert "depth" in c["args"]
+
+
+def test_timestamps_are_relative_microseconds(traced_run):
+    _, events = traced_run
+    doc = to_chrome_trace(events)
+    ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert min(ts) < 1000  # starts near zero, not at perf_counter epoch
+    assert all(t >= 0 for t in ts)
+
+
+def test_write_chrome_trace_round_trips(traced_run, tmp_path):
+    _, events = traced_run
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, events)
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_unmatched_span_ends_are_skipped(tracing):
+    # An EXEC_END whose EXEC_BEGIN was lost (ring wraparound) must not
+    # produce a broken slice or crash the exporter.
+    obs.emit(EventKind.EXEC_END, target="w", region=1, name="r", arg="completed")
+    doc = to_chrome_trace(obs.session().events())
+    assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+
+def test_text_timeline_mentions_every_kind(traced_run):
+    _, events = traced_run
+    text = to_text_timeline(events)
+    for kind in ("REGION_SUBMIT", "ENQUEUE", "DEQUEUE", "EXEC_BEGIN", "EXEC_END"):
+        assert kind in text
+    assert "worker" in text

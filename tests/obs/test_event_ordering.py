@@ -1,0 +1,211 @@
+"""Causal-ordering invariants of the instrumented runtime: the merged,
+time-sorted stream must tell the same story Algorithm 1 executed."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import PjRuntime
+from repro.core.errors import QueueFullError
+from repro.obs import EventKind, TraceEvent
+
+LIFECYCLE = [
+    EventKind.REGION_SUBMIT,
+    EventKind.ENQUEUE,
+    EventKind.DEQUEUE,
+    EventKind.EXEC_BEGIN,
+    EventKind.EXEC_END,
+]
+
+
+def by_region(events: list[TraceEvent]) -> dict[int, list[TraceEvent]]:
+    out: dict[int, list[TraceEvent]] = {}
+    for e in events:
+        if e.region is not None:
+            out.setdefault(e.region, []).append(e)
+    return out
+
+
+def kinds(events: list[TraceEvent]) -> list[EventKind]:
+    return [e.kind for e in events]
+
+
+def test_posted_region_full_lifecycle_in_order(tracing, worker_rt):
+    region = worker_rt.invoke_target_block("worker", lambda: 7)
+    assert region.result() == 7
+    tracks = by_region(obs.session().events())
+    track = tracks[region.seq]
+    observed = [e.kind for e in track if e.kind in LIFECYCLE]
+    assert observed == LIFECYCLE
+    # Timestamps are non-decreasing along the lifecycle in the merged order.
+    ts = [e.ts for e in track if e.kind in LIFECYCLE]
+    assert ts == sorted(ts)
+
+
+def test_many_regions_each_keep_lifecycle_order(tracing, worker_rt):
+    regions = [
+        worker_rt.invoke_target_block("worker", lambda i=i: i, "nowait")
+        for i in range(25)
+    ]
+    for r in regions:
+        r.wait(5)
+    tracks = by_region(obs.session().events())
+    for r in regions:
+        observed = [e.kind for e in tracks[r.seq] if e.kind in LIFECYCLE]
+        assert observed == LIFECYCLE, f"region {r.seq}: {observed}"
+
+
+def test_inline_dispatch_emits_elide_not_enqueue(tracing, worker_rt):
+    inner: dict[str, object] = {}
+
+    def outer():
+        region = worker_rt.invoke_target_block("worker", lambda: 1)
+        inner["region"] = region
+        return region.result()
+
+    worker_rt.invoke_target_block("worker", outer).result()
+    tracks = by_region(obs.session().events())
+    track = tracks[inner["region"].seq]  # type: ignore[union-attr]
+    observed = kinds(track)
+    assert EventKind.INLINE_ELIDE in observed
+    assert EventKind.ENQUEUE not in observed
+    assert EventKind.DEQUEUE not in observed
+    assert observed.index(EventKind.INLINE_ELIDE) < observed.index(EventKind.EXEC_BEGIN)
+
+
+def test_await_from_edt_brackets_with_barrier_events(tracing, edt_rt):
+    done: dict[str, object] = {}
+
+    def on_edt():
+        region = edt_rt.invoke_target_block(
+            "worker", lambda: time.sleep(0.02) or "x", "await"
+        )
+        done["result"] = region.result()
+        done["region"] = region
+
+    edt_rt.invoke_target_block("edt", on_edt).result()
+    assert done["result"] == "x"
+    seq = done["region"].seq  # type: ignore[union-attr]
+    track = by_region(obs.session().events())[seq]
+    observed = kinds(track)
+    enter = observed.index(EventKind.BARRIER_ENTER)
+    exit_ = observed.index(EventKind.BARRIER_EXIT)
+    begin = observed.index(EventKind.EXEC_BEGIN)
+    assert enter < exit_
+    assert enter < begin  # the barrier opened before the region ran elsewhere
+    barrier = [e for e in track if e.kind is EventKind.BARRIER_ENTER]
+    assert barrier[0].target == "edt"  # pumped on the encountering target
+
+
+def test_pump_steal_recorded_when_barrier_processes_work(tracing, edt_rt):
+    def on_edt():
+        # Queue extra EDT work, then await: the barrier must pump it.
+        # (post() directly — invoke_target_block from the EDT itself would
+        # run these inline under the context-awareness rule.)
+        tgt = edt_rt.get_target("edt")
+        for i in range(3):
+            tgt.post(lambda i=i: i)
+        edt_rt.invoke_target_block(
+            "worker", lambda: time.sleep(0.05), "await"
+        )
+
+    edt_rt.invoke_target_block("edt", on_edt).result()
+    steals = [
+        e for e in obs.session().events() if e.kind is EventKind.PUMP_STEAL
+    ]
+    assert steals, "await barrier pumped queued handlers but recorded no steals"
+    assert all(e.target == "edt" for e in steals)
+
+
+def test_cancelled_region_emits_cancel(tracing, rt):
+    rt.create_worker("worker", 1)
+    release = rt.invoke_target_block(
+        "worker", lambda: time.sleep(0.05), "nowait"
+    )
+    victim = rt.invoke_target_block("worker", lambda: 99, "nowait")
+    assert victim.request_cancel(RuntimeError("test says no")) is True
+    release.wait(5)
+    track = by_region(obs.session().events())[victim.seq]
+    observed = kinds(track)
+    assert EventKind.CANCEL in observed
+    assert EventKind.EXEC_BEGIN not in observed
+    cancel = next(e for e in track if e.kind is EventKind.CANCEL)
+    assert cancel.arg == "RuntimeError"
+
+
+def test_rejected_region_emits_reject(tracing, rt):
+    rt.create_worker("tiny", 1, queue_capacity=1, rejection_policy="reject")
+    blocker = rt.invoke_target_block("tiny", lambda: time.sleep(0.08), "nowait")
+    # Fill the single queue slot, then overflow it.
+    filler = None
+    rejected = 0
+    for i in range(6):
+        try:
+            filler = rt.invoke_target_block("tiny", lambda: None, "nowait")
+        except QueueFullError:
+            rejected += 1
+    assert rejected > 0
+    blocker.wait(5)
+    rejects = [
+        e for e in obs.session().events() if e.kind is EventKind.REJECT
+    ]
+    assert len(rejects) == rejected
+    assert all(e.target == "tiny" for e in rejects)
+
+
+def test_tag_wait_brackets(tracing, worker_rt):
+    worker_rt.invoke_target_block("worker", lambda: 1, "name_as", tag="job")
+    worker_rt.wait_tag("job", timeout=5)
+    events = obs.session().events()
+    observed = kinds(events)
+    begin = observed.index(EventKind.TAG_WAIT_BEGIN)
+    end = observed.index(EventKind.TAG_WAIT_END)
+    assert begin < end
+    assert events[begin].name == "job"
+
+
+def test_enqueue_sorts_before_consumer_side_dequeue(tracing, worker_rt):
+    """The ENQUEUE timestamp is captured before the blocking put, so the
+    consumer's DEQUEUE can never sort ahead of it in the merged stream."""
+    regions = [
+        worker_rt.invoke_target_block("worker", lambda: None, "nowait")
+        for _ in range(50)
+    ]
+    for r in regions:
+        r.wait(5)
+    tracks = by_region(obs.session().events())
+    for r in regions:
+        t = {e.kind: e.ts for e in tracks[r.seq]}
+        assert t[EventKind.ENQUEUE] <= t[EventKind.DEQUEUE]
+
+
+def test_queue_depth_samples_present(tracing, worker_rt):
+    for _ in range(5):
+        worker_rt.invoke_target_block("worker", lambda: None)
+    depths = [
+        e for e in obs.session().events() if e.kind is EventKind.QUEUE_DEPTH
+    ]
+    assert depths
+    assert all(isinstance(e.arg, int) and e.arg >= 0 for e in depths)
+
+
+def test_compiled_pragma_regions_carry_source_location(tracing, worker_rt):
+    from repro.compiler import exec_omp
+
+    ns = exec_omp(
+        "def f():\n"
+        "    #omp target virtual(worker)\n"
+        "    x = 41\n"
+        "    return x + 1\n",
+        runtime=worker_rt,
+    )
+    assert ns["f"]() == 42
+    submits = [
+        e for e in obs.session().events() if e.kind is EventKind.REGION_SUBMIT
+    ]
+    assert any(
+        e.name is not None and "@" in e.name and ":" in e.name for e in submits
+    ), f"no source-stamped region label in {[e.name for e in submits]}"

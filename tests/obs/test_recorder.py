@@ -1,0 +1,129 @@
+"""Ring-buffer mechanics: wraparound, drop accounting, null mode,
+per-thread isolation, and the disabled fast path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import EventKind, NullRecorder, RingRecorder, TraceEvent, now_ns
+
+
+def _ev(i: int) -> TraceEvent:
+    return TraceEvent(EventKind.EXEC_BEGIN, now_ns(), "t", None, i, None, None)
+
+
+class TestRingRecorder:
+    def test_append_below_capacity_keeps_everything(self):
+        ring = RingRecorder(8, generation=0, thread_name="t")
+        for i in range(5):
+            ring.append(_ev(i))
+        assert len(ring) == 5
+        assert ring.recorded == 5
+        assert ring.dropped == 0
+        assert [e.region for e in ring.events()] == [0, 1, 2, 3, 4]
+
+    def test_wraparound_drops_oldest_and_counts(self):
+        ring = RingRecorder(8, generation=0, thread_name="t")
+        for i in range(20):
+            ring.append(_ev(i))
+        assert len(ring) == 8
+        assert ring.recorded == 20
+        assert ring.dropped == 12
+        # The retained window is the newest 8, still oldest-first.
+        assert [e.region for e in ring.events()] == list(range(12, 20))
+
+    def test_seq_is_monotonic_across_wraparound(self):
+        ring = RingRecorder(4, generation=0, thread_name="t")
+        for i in range(10):
+            ring.append(_ev(i))
+        seqs = [e.seq for e in ring.events()]
+        assert seqs == sorted(seqs)
+        assert seqs == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingRecorder(0, generation=0, thread_name="t")
+
+
+class TestNullRecorder:
+    def test_counts_but_stores_nothing(self):
+        rec = NullRecorder(generation=0, thread_name="t")
+        for i in range(100):
+            rec.append(_ev(i))
+        assert rec.recorded == 100
+        assert len(rec) == 0
+        assert rec.events() == []
+
+
+class TestTraceSession:
+    def test_disabled_session_records_nothing(self):
+        session = obs.session()
+        assert not session.enabled
+        session.emit(EventKind.ENQUEUE, target="w")
+        assert session.events() == []
+        assert session.stats()["recorded"] == 0
+
+    def test_emit_requires_no_explicit_guard(self, tracing):
+        obs.emit(EventKind.ENQUEUE, target="w", region=1, name="r")
+        (event,) = obs.session().events()
+        assert event.kind is EventKind.ENQUEUE
+        assert event.target == "w"
+        assert event.thread == threading.current_thread().name
+
+    def test_null_mode_counts_without_retaining(self):
+        obs.enable(null=True)
+        for _ in range(10):
+            obs.emit(EventKind.ENQUEUE, target="w")
+        stats = obs.session().stats()
+        assert stats["recorded"] == 10
+        assert stats["retained"] == 0
+        assert obs.session().events() == []
+
+    def test_buffer_size_bounds_retention(self):
+        obs.enable(buffer_size=8)
+        for i in range(20):
+            obs.emit(EventKind.ENQUEUE, target="w", region=i)
+        stats = obs.session().stats()
+        assert stats["recorded"] == 20
+        assert stats["retained"] == 8
+        assert stats["dropped"] == 12
+        assert [e.region for e in obs.session().events()] == list(range(12, 20))
+
+    def test_per_thread_recorders(self, tracing):
+        def worker():
+            obs.emit(EventKind.EXEC_BEGIN, target="w")
+            obs.emit(EventKind.EXEC_END, target="w")
+
+        threads = [threading.Thread(target=worker, name=f"rec-{i}") for i in range(3)]
+        obs.emit(EventKind.REGION_SUBMIT, target="w")
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = obs.session().stats()
+        assert stats["threads"] == 4  # main + 3 workers
+        assert stats["recorded"] == 7
+        assert set(stats["per_thread"]) >= {"rec-0", "rec-1", "rec-2"}
+
+    def test_restart_abandons_stale_recorders(self, tracing):
+        obs.emit(EventKind.ENQUEUE, target="w")
+        obs.enable()  # new window: generation bump
+        obs.emit(EventKind.DEQUEUE, target="w")
+        events = obs.session().events()
+        assert [e.kind for e in events] == [EventKind.DEQUEUE]
+
+    def test_stop_keeps_events_readable(self, tracing):
+        obs.emit(EventKind.ENQUEUE, target="w")
+        obs.disable()
+        assert len(obs.session().events()) == 1
+        obs.session().clear()
+        assert obs.session().events() == []
+
+    def test_describe_mentions_counts(self, tracing):
+        obs.emit(EventKind.ENQUEUE, target="w")
+        text = obs.session().describe()
+        assert "trace: on" in text
+        assert "recorded=1" in text

@@ -1,0 +1,78 @@
+"""The ``python -m repro trace`` subcommand, end to end in-process."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SCRIPT = """\
+import sys
+
+from repro.core import PjRuntime
+
+rt = PjRuntime()
+rt.create_worker("worker", 2)
+for i in range(5):
+    rt.invoke_target_block("worker", lambda i=i: i * i)
+rt.shutdown(wait=True)
+print("script-args:", sys.argv[1:])
+"""
+
+
+@pytest.fixture()
+def script(tmp_path):
+    path = tmp_path / "workload.py"
+    path.write_text(SCRIPT)
+    return path
+
+
+def test_trace_writes_loadable_chrome_json(script, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", str(script), "-o", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"M", "X"} <= phases
+    captured = capsys.readouterr()
+    assert "wrote" in captured.out
+    assert "perfetto" in captured.out.lower()
+
+
+def test_trace_forwards_script_args(script, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", str(script), "hello", "world", "-o", str(out)]) == 0
+    assert "script-args: ['hello', 'world']" in capsys.readouterr().out
+
+
+def test_trace_timeline_and_metrics_flags(script, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = main(["trace", str(script), "-o", str(out), "--timeline", "--metrics"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "EXEC_BEGIN" in captured  # timeline lines
+    assert "queue-wait" in captured  # metrics table
+    assert "p95" in captured
+
+
+def test_trace_buffer_option_caps_retention(tmp_path, capsys):
+    busy = tmp_path / "busy.py"
+    busy.write_text(SCRIPT)
+    out = tmp_path / "trace.json"
+    assert main(["trace", str(busy), "-o", str(out), "--buffer", "4"]) == 0
+    assert "dropped" in capsys.readouterr().out
+
+
+def test_trace_missing_script_fails_cleanly(tmp_path):
+    assert main(["trace", str(tmp_path / "nope.py"), "-o", str(tmp_path / "t.json")]) == 2
+
+
+def test_trace_keeps_trace_on_script_exit(tmp_path, capsys):
+    path = tmp_path / "exiting.py"
+    path.write_text(SCRIPT + "sys.exit(3)\n")
+    out = tmp_path / "trace.json"
+    assert main(["trace", str(path), "-o", str(out)]) == 0
+    assert out.exists()
+    assert "exited with 3" in capsys.readouterr().err
