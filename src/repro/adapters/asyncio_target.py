@@ -44,6 +44,7 @@ class AsyncioEdtTarget(VirtualTarget):
     like EDT-confined code does under Swing.
     """
 
+    kind = "asyncio"
     supports_pumping = False  # asyncio loops cannot be pumped re-entrantly
 
     def __init__(

@@ -256,6 +256,36 @@ def cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dist_info(args: argparse.Namespace) -> int:
+    """Report what process-backed targets (repro.dist) get from this host."""
+    import multiprocessing
+    import os
+
+    from .dist.process_target import DEFAULT_START_METHOD
+    from .dist.wire import HAVE_CLOUDPICKLE
+
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:
+        usable = os.cpu_count() or 1
+    rows = [
+        ("cpu_count", os.cpu_count()),
+        ("usable_cores (affinity)", usable),
+        ("start_method (default)", DEFAULT_START_METHOD),
+        ("start_methods (available)", ", ".join(multiprocessing.get_all_start_methods())),
+        ("cloudpickle", "yes (closures/lambdas cross the wire)" if HAVE_CLOUDPICKLE
+         else "no (module-level functions only)"),
+        ("defaults", "max_restarts=3 heartbeat=1.0sx3 cancel_grace=5.0s"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"{label:>{width}} : {value}")
+    if usable < 2:
+        print(f"{'note':>{width}} : single usable core — process pools add "
+              "isolation and crash containment here, not parallel speedup")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("kernels", help="validate and time the kernel suite")
     p.add_argument("--size", choices=["A", "B", "C"], default="A")
     p.set_defaults(func=cmd_kernels)
+
+    p = sub.add_parser(
+        "dist-info",
+        help="report host capabilities for process-backed targets",
+    )
+    p.set_defaults(func=cmd_dist_info)
 
     p = sub.add_parser(
         "trace",

@@ -11,6 +11,7 @@ from .api import (
     run_on,
     shutdown_all,
     start_edt,
+    virtual_target_create_process_worker,
     virtual_target_create_worker,
     virtual_target_register_edt,
     wait_for,
@@ -30,11 +31,14 @@ from .errors import (
     QueueFullError,
     RegionCancelledError,
     RegionFailedError,
+    RemoteExecutionError,
     RuntimeStateError,
+    SerializationError,
     TagError,
     TargetExistsError,
     TargetShutdownError,
     UnknownTargetError,
+    WorkerCrashedError,
 )
 from .region import CancelToken, RegionState, TargetRegion, current_region
 from .runtime import PjRuntime, default_runtime, reset_default_runtime, set_default_runtime
@@ -50,15 +54,17 @@ from .targets import (
 __all__ = [
     # api
     "on_target", "run_on", "shutdown_all", "start_edt",
-    "virtual_target_create_worker", "virtual_target_register_edt", "wait_for",
+    "virtual_target_create_worker", "virtual_target_create_process_worker",
+    "virtual_target_register_edt", "wait_for",
     # directives
     "DataClause", "DataSharing", "SchedulingMode", "TargetDirective",
     "TargetKind", "TargetProperty",
     # errors
     "AwaitTimeoutError", "DirectiveSyntaxError", "PyjamaError",
     "QueueFullError", "RegionCancelledError", "RegionFailedError",
-    "RuntimeStateError", "TagError", "TargetExistsError",
-    "TargetShutdownError", "UnknownTargetError",
+    "RemoteExecutionError", "RuntimeStateError", "SerializationError",
+    "TagError", "TargetExistsError",
+    "TargetShutdownError", "UnknownTargetError", "WorkerCrashedError",
     # region / runtime / targets
     "CancelToken", "RegionState", "TargetRegion", "current_region",
     "PjRuntime", "default_runtime",

@@ -39,6 +39,7 @@ from .targets import EdtTarget, WorkerTarget
 __all__ = [
     "virtual_target_register_edt",
     "virtual_target_create_worker",
+    "virtual_target_create_process_worker",
     "start_edt",
     "run_on",
     "on_target",
@@ -69,6 +70,21 @@ def virtual_target_create_worker(
     threads, and its name is tname."*
     """
     return (runtime or default_runtime()).create_worker(tname, m)
+
+
+def virtual_target_create_process_worker(
+    tname: str, m: int, *, runtime: PjRuntime | None = None, **options: Any
+):
+    """Create a worker virtual target backed by *m* supervised OS processes.
+
+    The process counterpart of :func:`virtual_target_create_worker`: same
+    name-based directive surface and scheduling clauses, but region bodies
+    run outside this interpreter's GIL, so CPU-bound blocks scale with cores
+    instead of serializing.  *options* forwards the supervision knobs of
+    :meth:`PjRuntime.create_process_worker` (``max_restarts``,
+    ``start_method``, ``heartbeat_interval``, ``cancel_grace``, ...).
+    """
+    return (runtime or default_runtime()).create_process_worker(tname, m, **options)
 
 
 def start_edt(tname: str, *, runtime: PjRuntime | None = None) -> EdtTarget:

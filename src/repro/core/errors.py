@@ -126,3 +126,78 @@ class AwaitTimeoutError(PyjamaError, TimeoutError):
 class TagError(PyjamaError):
     """Invalid use of a ``name_as``/``wait`` tag (e.g. waiting on an unknown tag
     in strict mode)."""
+
+
+class WorkerCrashedError(PyjamaError):
+    """A process-backed virtual target lost a worker process.
+
+    Raised to waiters of any region that was in flight on the crashed worker
+    — a hard-killed process cannot report results, so the honest outcome is
+    this error, not a hang.  Carries enough context (worker index, pid, exit
+    code, restart budget) for the supervisor's decision to be auditable.
+    """
+
+    def __init__(
+        self,
+        target_name: str,
+        worker_id: int,
+        *,
+        pid: int | None = None,
+        exitcode: int | None = None,
+        region_name: str | None = None,
+        detail: str | None = None,
+    ):
+        self.target_name = target_name
+        self.worker_id = worker_id
+        self.pid = pid
+        self.exitcode = exitcode
+        self.region_name = region_name
+        bits = [f"worker {worker_id} of process target {target_name!r} crashed"]
+        if pid is not None:
+            bits.append(f"pid={pid}")
+        if exitcode is not None:
+            bits.append(f"exitcode={exitcode}")
+        if region_name is not None:
+            bits.append(f"while running region {region_name!r}")
+        if detail:
+            bits.append(f"({detail})")
+        super().__init__(" ".join(bits))
+
+
+class SerializationError(PyjamaError):
+    """A payload (or its result) could not cross the process boundary.
+
+    Process-backed targets ship region bodies and results by value; anything
+    holding process-local state — locks, sockets, open files, generators —
+    cannot be pickled (even by cloudpickle) and is rejected with this error
+    instead of a raw :class:`TypeError` from deep inside the pickler.
+    """
+
+    def __init__(self, what: str, cause: BaseException | None = None):
+        self.cause = cause
+        message = (
+            f"{what} cannot be serialized for a process target"
+            f"{f': {cause!r}' if cause is not None else ''}; "
+            "process targets ship work by value — keep payloads to plain "
+            "data, module-level functions, and picklable closures"
+        )
+        super().__init__(message)
+        if cause is not None:
+            self.__cause__ = cause
+
+
+class RemoteExecutionError(PyjamaError):
+    """A region failed on a worker process with an exception that could not
+    itself be pickled back.
+
+    The original traceback (formatted worker-side) is preserved in
+    :attr:`remote_traceback` so the failure stays debuggable even though the
+    exception object could not make the trip.
+    """
+
+    def __init__(self, description: str, remote_traceback: str = ""):
+        self.remote_traceback = remote_traceback
+        message = f"remote region failed: {description}"
+        if remote_traceback:
+            message = f"{message}\n--- worker traceback ---\n{remote_traceback}"
+        super().__init__(message)

@@ -241,6 +241,49 @@ class TargetRegion:
         for cb in callbacks:
             cb(self)
 
+    # ------------------------------------------------- remote execution hooks
+
+    def mark_running(self) -> bool:
+        """Transition PENDING → RUNNING without executing the body locally.
+
+        The claim step of remote dispatch: a process target's shipper thread
+        calls this before serializing the region so that a concurrent
+        ``cancel()`` either wins (this returns False and nothing is shipped)
+        or loses (the region is RUNNING and only its cooperative token can
+        stop it).  Returns False if the region was not PENDING.
+        """
+        with self._lock:
+            if self._state is not RegionState.PENDING:
+                return False
+            self._state = RegionState.RUNNING
+        return True
+
+    def fulfill(self, result: Any = None, *, exception: BaseException | None = None) -> bool:
+        """Complete a region whose body ran outside this process.
+
+        The delivery step of remote dispatch: results and exceptions coming
+        back over the wire land here, so waiters (``wait``/``result``,
+        ``wait_tag``, ``await`` barriers) and done-callbacks behave exactly
+        as they do for locally executed regions.  No-ops (returning False) if
+        the region is already terminal — e.g. fulfilled by a crash handler
+        racing a late result.
+        """
+        with self._lock:
+            if self._state.is_terminal:
+                return False
+            if exception is not None:
+                self._exception = exception
+                self._state = RegionState.FAILED
+            else:
+                self._result = result
+                self._state = RegionState.COMPLETED
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+        self._done.set()
+        for cb in callbacks:
+            cb(self)
+        return True
+
     # ----------------------------------------------------------- completion
 
     def add_done_callback(self, cb: Callable[["TargetRegion"], None]) -> None:

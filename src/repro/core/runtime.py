@@ -158,6 +158,51 @@ class PjRuntime:
             raise
         return target
 
+    def create_process_worker(
+        self,
+        name: str,
+        max_workers: int,
+        *,
+        queue_capacity: int | None = None,
+        rejection_policy: str | None = None,
+        max_restarts: int = 3,
+        start_method: str | None = None,
+        heartbeat_interval: float = 1.0,
+        heartbeat_misses: int = 3,
+        cancel_grace: float = 5.0,
+        spawn_timeout: float = 60.0,
+    ):
+        """``virtual_target_create_process_worker(tname, m)``: a worker
+        virtual target backed by *max_workers* supervised OS processes.
+
+        Same directive surface as :meth:`create_worker` (``virtual(name)``,
+        ``nowait``/``name_as``/``await``, ``timeout=``, bounded queues and
+        rejection policies), but region bodies execute outside the GIL of
+        this process — the device layer for CPU-bound kernels.  See
+        ``docs/DISTRIBUTION.md`` for when to choose process over thread
+        targets, and :class:`~repro.dist.ProcessTarget` for the supervision
+        knobs (*max_restarts*, heartbeats, *cancel_grace*).
+        """
+        from ..dist import ProcessTarget  # lazy: dist imports core
+
+        target = ProcessTarget(
+            name,
+            max_workers,
+            max_restarts=max_restarts,
+            start_method=start_method,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_misses=heartbeat_misses,
+            cancel_grace=cancel_grace,
+            spawn_timeout=spawn_timeout,
+            **self._queue_options(queue_capacity, rejection_policy),
+        )
+        try:
+            self.register_target(target)
+        except TargetExistsError:
+            target.shutdown(wait=False)
+            raise
+        return target
+
     def register_edt(
         self,
         name: str,
@@ -272,7 +317,15 @@ class PjRuntime:
                 name=region.label, arg=mode.value,
             )
 
-        if executor.contains():
+        # Affinity router (Algorithm 1 lines 6-7).  Inline elision applies
+        # only to thread-backed targets: membership means the calling thread
+        # *is* the execution environment, so running the block synchronously
+        # is indistinguishable from posting it (same address space, same
+        # thread affinity).  Process targets keep supports_inline=False —
+        # their execution environment is a different address space, and no
+        # parent thread ever qualifies — so their regions always take the
+        # posted path below.
+        if executor.supports_inline and executor.contains():
             # Line 6-7: already in the target's context -> run synchronously.
             self._count("inline", mode.value)
             if session.enabled:

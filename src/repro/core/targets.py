@@ -388,6 +388,32 @@ class VirtualTarget(abc.ABC):
     #: runtime then refuses ``await`` with guidance instead of deadlocking.
     supports_pumping: bool = True
 
+    #: Whether Algorithm 1's inline elision (lines 6-7) may apply: a thread
+    #: that *belongs* to the target runs the block synchronously instead of
+    #: posting it.  Thread-backed targets share the poster's address space,
+    #: so elision is a pure optimization; process-backed targets set this to
+    #: False because their execution environment is a different process —
+    #: running the block in the encountering thread would silently change
+    #: which address space the block's side effects land in.  The affinity
+    #: router in ``invoke_target_block`` consults this before ``contains()``.
+    supports_inline: bool = True
+
+    #: Target taxonomy for diagnostics: ``worker`` (thread pool), ``edt``
+    #: (event-dispatch thread), ``process`` (worker processes), ``asyncio``
+    #: (foreign-loop adapter).  Surfaced by :meth:`describe` and
+    #: ``PjRuntime.diagnostic_dump`` so mixed deployments read at a glance.
+    kind: str = "virtual"
+
+    @property
+    def pool_size(self) -> int:
+        """Number of execution lanes (threads or processes) this target owns."""
+        return self.member_count
+
+    @property
+    def restart_count(self) -> int:
+        """Workers restarted by a supervisor (0 for thread-backed targets)."""
+        return 0
+
     def process_one(self, timeout: float | None = None) -> bool:
         """Run one queued item in the calling thread.
 
@@ -529,8 +555,9 @@ class VirtualTarget(abc.ABC):
         stats = self.stats
         cap = "unbounded" if self._queue.capacity is None else str(self._queue.capacity)
         return (
-            f"target {self.name!r} ({type(self).__name__}) "
-            f"alive={self.alive} queued={self.pending} capacity={cap} "
+            f"target {self.name!r} ({type(self).__name__}) kind={self.kind} "
+            f"alive={self.alive} pool={self.pool_size} "
+            f"restarts={self.restart_count} queued={self.pending} capacity={cap} "
             f"high_water={stats['high_water']} posted={stats['posted']} "
             f"rejected={stats['rejected']} caller_runs={stats['caller_runs']} "
             f"cancelled_on_shutdown={stats['cancelled_on_shutdown']} "
@@ -569,6 +596,8 @@ class WorkerTarget(VirtualTarget):
     Created by ``virtual_target_create_worker(tname, m)`` (paper Table II).
     """
 
+    kind = "worker"
+
     def __init__(
         self,
         name: str,
@@ -593,6 +622,10 @@ class WorkerTarget(VirtualTarget):
             )
             self._threads.append(t)
             t.start()
+
+    @property
+    def pool_size(self) -> int:
+        return self.max_threads
 
     def _worker_loop(self) -> None:
         self._enter_member()
@@ -655,6 +688,12 @@ class EdtTarget(VirtualTarget):
       and by headless tests: spawn a dedicated daemon thread that runs
       :meth:`run_forever`.
     """
+
+    kind = "edt"
+
+    @property
+    def pool_size(self) -> int:
+        return 1
 
     def __init__(
         self,

@@ -1,0 +1,49 @@
+"""repro.dist — process-backed virtual targets (supervised, GIL-free).
+
+The distribution layer extends the paper's virtual-target abstraction from
+threads to worker OS processes.  A :class:`ProcessTarget` registers under a
+name like any other target — ``virtual_target_create_process_worker("gpu", 4)``
+— and the directive layer (``virtual(name)``, scheduling clauses, ``timeout=``,
+backpressure policies) works on it unchanged; what changes is *where* region
+bodies run: in a pool of supervised worker processes, outside the parent
+interpreter's GIL, so CPU-bound kernels scale with cores.
+
+Module map:
+
+* :mod:`~repro.dist.process_target` — the target itself: per-slot shipper
+  threads, crash-to-:class:`~repro.core.errors.WorkerCrashedError` conversion,
+  cross-process cancellation, shutdown semantics;
+* :mod:`~repro.dist.worker` — the child-process entry point (task loop +
+  control thread);
+* :mod:`~repro.dist.wire` — serialization (cloudpickle when available) and
+  the message protocol;
+* :mod:`~repro.dist.supervisor` — heartbeats, restarts, restart budgets;
+* :mod:`~repro.dist.remote_obs` — worker-side event capture and re-stamping
+  onto the parent's trace clock.
+
+See ``docs/DISTRIBUTION.md`` for the architecture discussion.
+"""
+
+from .process_target import DEFAULT_START_METHOD, ProcessTarget
+from .remote_obs import (
+    WorkerEventLog,
+    estimate_offset_ns,
+    merge_worker_events,
+    worker_track,
+)
+from .supervisor import Supervisor
+from .wire import HAVE_CLOUDPICKLE
+from .worker import WorkerConfig, worker_main
+
+__all__ = [
+    "DEFAULT_START_METHOD",
+    "HAVE_CLOUDPICKLE",
+    "ProcessTarget",
+    "Supervisor",
+    "WorkerConfig",
+    "WorkerEventLog",
+    "estimate_offset_ns",
+    "merge_worker_events",
+    "worker_main",
+    "worker_track",
+]

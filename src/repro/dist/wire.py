@@ -1,0 +1,209 @@
+"""Wire format of process-backed virtual targets.
+
+Everything that crosses the parent↔worker boundary is defined here, so the
+protocol reads in one place:
+
+* **Payload serialization** — :func:`dumps`/:func:`loads`.  Region bodies
+  are arbitrary Python callables; the standard pickler refuses lambdas,
+  closures and locally defined functions, so we prefer `cloudpickle
+  <https://github.com/cloudpipe/cloudpickle>`_ when the interpreter ships it
+  and fall back to plain :mod:`pickle` otherwise.  Serialization failures
+  are wrapped in :class:`~repro.core.errors.SerializationError` with
+  guidance, never surfaced as a raw ``TypeError`` from pickler internals.
+* **Messages** — small slotted classes (not dataclasses: they are pickled
+  on every hop and the fixed ``__reduce__`` below keeps them stable across
+  interpreter versions).  Two channels per worker:
+
+  - the *task* channel (parent shipper thread ↔ worker main thread):
+    :class:`SyncMsg`/:class:`SyncAck` clock handshake at spawn, then
+    :class:`TaskMsg` → :class:`ResultMsg` pairs, terminated by
+    :class:`StopMsg`;
+  - the *control* channel (parent supervisor/shipper → worker control
+    thread): :class:`PingMsg` → :class:`PongMsg` heartbeats and
+    :class:`CancelMsg` cooperative-cancellation requests, which must remain
+    deliverable *while the worker's main thread is busy executing a region*
+    — the reason control rides a separate pipe.
+
+The payload of a task is the tuple ``(body, args, kwargs)`` serialized as
+one blob: serializing eagerly in the parent (rather than letting
+``Connection.send`` pickle lazily) means an unpicklable payload is rejected
+at dispatch with a clear error instead of killing the channel mid-protocol.
+Results come back the same way — the *worker* serializes eagerly so an
+unpicklable return value becomes an error result, not a dead worker.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from typing import Any
+
+from ..core.errors import RemoteExecutionError, SerializationError
+
+try:  # cloudpickle widens what can cross the wire (lambdas, closures, ...)
+    import cloudpickle as _pickler
+    HAVE_CLOUDPICKLE = True
+except ImportError:  # pragma: no cover - environment-dependent
+    _pickler = pickle
+    HAVE_CLOUDPICKLE = False
+
+__all__ = [
+    "HAVE_CLOUDPICKLE",
+    "dumps",
+    "loads",
+    "pack_exception",
+    "unpack_exception",
+    "SyncMsg",
+    "SyncAck",
+    "TaskMsg",
+    "ResultMsg",
+    "StopMsg",
+    "PingMsg",
+    "PongMsg",
+    "CancelMsg",
+]
+
+
+def dumps(obj: Any, *, what: str = "payload") -> bytes:
+    """Serialize *obj*; raise :class:`SerializationError` naming *what*."""
+    try:
+        return _pickler.dumps(obj)
+    except Exception as exc:  # noqa: BLE001 - picklers raise a zoo of types
+        raise SerializationError(what, exc) from exc
+
+
+def loads(blob: bytes, *, what: str = "payload") -> Any:
+    """Deserialize a :func:`dumps` blob; failures (e.g. a module importable
+    in the parent but not in the worker) become :class:`SerializationError`."""
+    try:
+        return _pickler.loads(blob)
+    except Exception as exc:  # noqa: BLE001
+        raise SerializationError(what, exc) from exc
+
+
+def pack_exception(exc: BaseException) -> tuple[bytes | None, str, str]:
+    """(blob-or-None, repr, formatted traceback) for shipping a failure.
+
+    The blob is None when the exception itself cannot be pickled — the
+    receiving side then reconstructs a :class:`RemoteExecutionError` from
+    the repr and traceback text instead.
+    """
+    tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        blob = _pickler.dumps(exc)
+    except Exception:  # noqa: BLE001 - unpicklable exception: ship text only
+        blob = None
+    return blob, repr(exc), tb
+
+
+def unpack_exception(blob: bytes | None, text: str, tb: str) -> BaseException:
+    """Rebuild a shipped failure; degrade to :class:`RemoteExecutionError`
+    when the original exception could not make the trip."""
+    if blob is not None:
+        try:
+            exc = _pickler.loads(blob)
+        except Exception:  # noqa: BLE001
+            return RemoteExecutionError(text, tb)
+        if isinstance(exc, BaseException):
+            # Preserve the worker-side traceback for post-mortems: the
+            # unpickled exception's __traceback__ never survives the trip.
+            exc.remote_traceback = tb  # type: ignore[attr-defined]
+            return exc
+    return RemoteExecutionError(text, tb)
+
+
+class _Msg:
+    """Base for wire messages: slotted, field-order pickled, repr'd."""
+
+    __slots__: tuple[str, ...] = ()
+
+    def __init__(self, *values: Any) -> None:
+        for field, value in zip(self.__slots__, values):
+            setattr(self, field, value)
+
+    def __reduce__(self):
+        return (type(self), tuple(getattr(self, f) for f in self.__slots__))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        fields = ", ".join(f"{f}={getattr(self, f)!r}" for f in self.__slots__)
+        return f"<{type(self).__name__} {fields}>"
+
+
+class SyncMsg(_Msg):
+    """Parent → worker, first message: clock-sync probe.
+
+    ``parent_ns`` is the parent's ``perf_counter_ns`` at send time; the
+    worker answers with :class:`SyncAck` immediately so the parent can
+    estimate the clock offset from the round trip.
+    """
+
+    __slots__ = ("parent_ns",)
+
+
+class SyncAck(_Msg):
+    """Worker → parent: ``worker_ns`` is the worker's ``perf_counter_ns``
+    captured while answering the :class:`SyncMsg`; ``pid`` confirms which
+    process answered."""
+
+    __slots__ = ("worker_ns", "pid")
+
+
+class TaskMsg(_Msg):
+    """Parent → worker: one region to execute.
+
+    ``seq`` is the parent-side ``TargetRegion.seq`` (the trace correlation
+    id); ``name``/``source`` reproduce the region's identity worker-side so
+    traces and error messages carry the user's labels; ``blob`` is the
+    :func:`dumps` of ``(body, args, kwargs)``; ``trace`` tells the worker
+    whether to record (and ship back) execution events.
+    """
+
+    __slots__ = ("seq", "name", "source", "blob", "trace")
+
+
+class ResultMsg(_Msg):
+    """Worker → parent: the outcome of one :class:`TaskMsg`.
+
+    ``ok`` selects the branch: on success ``blob`` is the :func:`dumps` of
+    the return value; on failure ``exc_blob``/``exc_text``/``exc_tb`` are
+    the :func:`pack_exception` triple.  ``events`` is the worker-side event
+    log (list of ``(kind, ts_ns, region, name, arg)`` tuples on the
+    *worker's* clock) and ``events_dropped`` how many were discarded when
+    the bounded log overflowed.
+    """
+
+    __slots__ = (
+        "seq", "ok", "blob", "exc_blob", "exc_text", "exc_tb",
+        "events", "events_dropped",
+    )
+
+
+class StopMsg(_Msg):
+    """Parent → worker: drain sentinel; the worker main loop exits."""
+
+    __slots__ = ()
+
+
+class PingMsg(_Msg):
+    """Supervisor → worker control thread: liveness probe."""
+
+    __slots__ = ("sent_ns",)
+
+
+class PongMsg(_Msg):
+    """Worker control thread → supervisor: echo of :class:`PingMsg`.
+
+    Answered by a dedicated thread, so a pong proves the worker process is
+    alive and scheduling threads even while its main thread grinds through
+    a long region.
+    """
+
+    __slots__ = ("sent_ns", "pid")
+
+
+class CancelMsg(_Msg):
+    """Parent → worker control thread: set the cooperative cancel token of
+    the region ``seq`` if it is currently executing (stale seqs are ignored
+    — the region may have finished while the message was in flight)."""
+
+    __slots__ = ("seq",)

@@ -1,0 +1,179 @@
+"""The worker-process side of a process-backed virtual target.
+
+:func:`worker_main` is the ``multiprocessing.Process`` entry point.  Each
+worker runs two threads:
+
+* the **main thread** drives the task loop: clock-sync handshake, then
+  ``recv`` a :class:`~repro.dist.wire.TaskMsg`, rebuild the region, run it,
+  ship a :class:`~repro.dist.wire.ResultMsg` (result *or* exception, plus
+  the worker-side trace events), repeat until :class:`~repro.dist.wire.StopMsg`;
+* a daemon **control thread** answers heartbeat pings and applies
+  cooperative cancellation — it owns the control pipe, so both keep working
+  while the main thread is deep inside a region body.
+
+Regions execute as real :class:`~repro.core.region.TargetRegion` instances,
+so worker-side user code keeps the full in-process contract:
+``current_region()`` resolves, and ``current_region().cancel_token`` is the
+*same token* the parent's :class:`CancelMsg` flips — a body written to poll
+its token cooperates with cancellation identically on thread and process
+targets.
+
+Failure policy mirrors the thread-backed dispatch loop: nothing a region
+body does may kill the worker.  Exceptions are captured and shipped;
+unpicklable payloads/results/exceptions degrade to typed errors
+(:class:`~repro.core.errors.SerializationError`,
+:class:`~repro.core.errors.RemoteExecutionError`) rather than breaking the
+protocol.  Only a torn pipe (the parent died) exits the loop.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any
+
+from ..core.region import TargetRegion
+from ..obs import EventKind
+from ..obs.events import now_ns
+from . import wire
+from .remote_obs import WorkerEventLog
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+class WorkerConfig:
+    """Identity handed to a worker at spawn (picklable, version-stable)."""
+
+    __slots__ = ("target_name", "worker_id")
+
+    def __init__(self, target_name: str, worker_id: int) -> None:
+        self.target_name = target_name
+        self.worker_id = worker_id
+
+    def __reduce__(self):
+        return (WorkerConfig, (self.target_name, self.worker_id))
+
+
+class _Current:
+    """The region the main thread is executing, shared with the control
+    thread under a lock so cancel requests can find its token."""
+
+    __slots__ = ("_lock", "_seq", "_region")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seq: int | None = None
+        self._region: TargetRegion | None = None
+
+    def set(self, seq: int, region: TargetRegion) -> None:
+        with self._lock:
+            self._seq, self._region = seq, region
+
+    def clear(self) -> None:
+        with self._lock:
+            self._seq, self._region = None, None
+
+    def cancel(self, seq: int) -> None:
+        """Flip the cancel token iff *seq* is still the executing region."""
+        with self._lock:
+            if self._seq == seq and self._region is not None:
+                self._region.cancel_token.set()
+
+
+def _control_loop(ctrl_conn: Any, current: _Current) -> None:
+    """Answer pings and deliver cancellations until the pipe tears."""
+    while True:
+        try:
+            msg = ctrl_conn.recv()
+        except (EOFError, OSError):
+            return
+        if isinstance(msg, wire.PingMsg):
+            try:
+                ctrl_conn.send(wire.PongMsg(msg.sent_ns, os.getpid()))
+            except (OSError, ValueError):
+                return
+        elif isinstance(msg, wire.CancelMsg):
+            current.cancel(msg.seq)
+        elif isinstance(msg, wire.StopMsg):
+            return
+
+
+def _error_result(seq: int, exc: BaseException, log: WorkerEventLog) -> wire.ResultMsg:
+    blob, text, tb = wire.pack_exception(exc)
+    return wire.ResultMsg(seq, False, None, blob, text, tb, log.drain(), log.dropped)
+
+
+def _run_task(msg: wire.TaskMsg, config: WorkerConfig, current: _Current) -> wire.ResultMsg:
+    """Execute one task; always returns a ResultMsg (never raises)."""
+    log = WorkerEventLog()
+    try:
+        body, args, kwargs = wire.loads(msg.blob, what=f"payload of region {msg.name!r}")
+    except Exception as exc:  # noqa: BLE001 - SerializationError or worse
+        return _error_result(msg.seq, exc, log)
+
+    region = TargetRegion(body, *args, **kwargs)
+    # Adopt the parent-side identity so current_region(), traces and error
+    # messages show the user's region, not a worker-local counter.
+    region.name = msg.name
+    region.source = msg.source
+    current.set(msg.seq, region)
+    try:
+        if msg.trace:
+            log.emit(EventKind.EXEC_BEGIN, region=msg.seq, name=region.label)
+        region.run()  # captures body exceptions on the region
+        if msg.trace:
+            log.emit(
+                EventKind.EXEC_END, region=msg.seq, name=region.label,
+                arg="failed" if region.exception is not None else "completed",
+            )
+    finally:
+        current.clear()
+
+    if region.exception is not None:
+        return _error_result(msg.seq, region.exception, log)
+    try:
+        blob = wire.dumps(region.result(), what=f"result of region {msg.name!r}")
+    except Exception as exc:  # noqa: BLE001 - unpicklable result
+        return _error_result(msg.seq, exc, log)
+    return wire.ResultMsg(msg.seq, True, blob, None, None, None, log.drain(), log.dropped)
+
+
+def worker_main(config: WorkerConfig, task_conn: Any, ctrl_conn: Any) -> None:
+    """Entry point of one worker process (the ``Process`` target).
+
+    Protocol: answer the clock-sync handshake, then loop over tasks until a
+    :class:`~repro.dist.wire.StopMsg` arrives or the parent disappears.
+    """
+    current = _Current()
+    ctrl = threading.Thread(
+        target=_control_loop,
+        args=(ctrl_conn, current),
+        name=f"repro-dist-ctrl-{config.target_name}-{config.worker_id}",
+        daemon=True,
+    )
+    ctrl.start()
+
+    while True:
+        try:
+            msg = task_conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away: nothing left to serve
+        if isinstance(msg, wire.SyncMsg):
+            # Clock-sync probe: answer as fast as possible so the parent's
+            # round-trip midpoint estimate is tight.  The parent probes twice
+            # at spawn — the first round absorbs interpreter startup, only
+            # the second (warm, pure pipe latency) sets the offset.
+            try:
+                task_conn.send(wire.SyncAck(now_ns(), os.getpid()))
+            except (OSError, ValueError):
+                return
+            continue
+        if isinstance(msg, wire.StopMsg):
+            return
+        if not isinstance(msg, wire.TaskMsg):
+            continue  # unknown message from a newer parent: skip, stay alive
+        result = _run_task(msg, config, current)
+        try:
+            task_conn.send(result)
+        except (OSError, ValueError, EOFError):
+            return  # parent tore the pipe mid-result

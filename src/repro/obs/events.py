@@ -12,7 +12,15 @@ kinds mirror the paper's lifecycle:
 * the ``await`` logical barrier — ``BARRIER_ENTER``, ``PUMP_STEAL`` (the
   barrier processed *another* queued item), ``BARRIER_EXIT``;
 * ``wait(tag)`` joins — ``TAG_WAIT_BEGIN``/``TAG_WAIT_END``;
-* telemetry — ``QUEUE_DEPTH`` samples (one counter track per target).
+* telemetry — ``QUEUE_DEPTH`` samples (one counter track per target);
+* process-target supervision — ``WORKER_SPAWN``/``WORKER_EXIT``/
+  ``WORKER_CRASH`` instants marking worker-process lifecycle transitions.
+
+Events executed on a *worker process* of a process-backed target are
+recorded worker-side against the worker's own ``perf_counter_ns``, shipped
+back with each result, and re-stamped onto this process's clock using the
+per-worker offset measured at spawn (see :mod:`repro.dist.remote_obs`), so
+one merged timeline spans every process.
 
 Clock convention
 ----------------
@@ -52,6 +60,9 @@ class EventKind(enum.IntEnum):
     TAG_WAIT_BEGIN = 12  # wait(tag) join started
     TAG_WAIT_END = 13    # wait(tag) join finished
     QUEUE_DEPTH = 14     # queue-depth sample (arg: depth) — counter track
+    WORKER_SPAWN = 15    # process target started a worker (arg: pid)
+    WORKER_EXIT = 16     # worker process stopped cleanly (arg: pid)
+    WORKER_CRASH = 17    # worker process died unexpectedly (arg: exitcode)
 
     @property
     def is_span_begin(self) -> bool:

@@ -35,6 +35,9 @@ _INSTANTS = {
     EventKind.ENQUEUE: "enqueue",
     EventKind.DEQUEUE: "dequeue",
     EventKind.PUMP_STEAL: "pump-steal",
+    EventKind.WORKER_SPAWN: "worker-spawn",
+    EventKind.WORKER_EXIT: "worker-exit",
+    EventKind.WORKER_CRASH: "worker-crash",
 }
 
 

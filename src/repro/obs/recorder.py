@@ -175,12 +175,17 @@ class TraceSession:
         name: str | None = None,
         arg: object = None,
         ts: int | None = None,
+        thread: str | None = None,
     ) -> None:
         """Record one event on the calling thread's recorder.
 
         *ts* lets an instrumentation site stamp a time captured earlier (e.g.
         the instant *before* a blocking enqueue) so causal order survives
-        even when the event object is built after the fact.
+        even when the event object is built after the fact.  *thread*
+        overrides the recorded thread label: process targets replay events
+        that happened on a worker process through the parent-side shipper
+        thread, and the trace must attribute them to the worker, not the
+        shipper.
         """
         if not self.enabled:
             return
@@ -191,7 +196,7 @@ class TraceSession:
             TraceEvent(
                 kind,
                 now_ns() if ts is None else ts,
-                rec.thread_name,
+                thread if thread is not None else rec.thread_name,
                 target,
                 region,
                 name,

@@ -1,0 +1,1 @@
+"""Tests for repro.dist — process-backed virtual targets."""

@@ -1,0 +1,52 @@
+"""Fixtures for the dist suite: process runtimes + child-process leak guard."""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core import PjRuntime
+
+
+@pytest.fixture(autouse=True)
+def no_child_process_leaks():
+    """Every test must account for its worker processes.
+
+    Terminated children take a moment to be reaped (``terminate`` is
+    asynchronous and slot reaping uses bounded joins), so the guard polls
+    before declaring a leak.
+    """
+    yield
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leftovers = multiprocessing.active_children()
+        if not leftovers:
+            return
+        time.sleep(0.05)
+    leftovers = multiprocessing.active_children()
+    for proc in leftovers:  # clean up so one leak doesn't cascade
+        proc.terminate()
+    assert not leftovers, f"leaked worker processes: {leftovers}"
+
+
+@pytest.fixture()
+def proc_rt():
+    """Runtime with a 2-worker process target named 'pool'."""
+    runtime = PjRuntime()
+    runtime.create_process_worker("pool", 2, heartbeat_interval=0.25)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+@pytest.fixture()
+def solo_rt():
+    """Runtime with a 1-worker process target named 'solo' and a short
+    cancel grace, for stuck-worker and crash-ordering tests."""
+    runtime = PjRuntime()
+    runtime.create_process_worker(
+        "solo", 1, cancel_grace=1.0, heartbeat_interval=0.25
+    )
+    yield runtime
+    runtime.shutdown(wait=False)

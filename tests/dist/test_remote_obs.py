@@ -1,0 +1,116 @@
+"""Clock sync, worker event capture, and cross-process trace merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.region import TargetRegion
+from repro.dist.remote_obs import (
+    WorkerEventLog,
+    estimate_offset_ns,
+    merge_worker_events,
+    worker_track,
+)
+from repro.obs import EventKind
+from repro.obs.recorder import TraceSession
+
+from . import bodies
+
+
+class TestOffsetEstimation:
+    def test_midpoint_formula(self):
+        # Parent sends at 100, receives at 300; the worker read its clock at
+        # the (assumed) midpoint 200, reporting 5200 -> offset -5000.
+        assert estimate_offset_ns(100, 300, 5200) == -5000
+
+    def test_identical_clocks_give_zero_offset(self):
+        assert estimate_offset_ns(100, 200, 150) == 0
+
+
+class TestWorkerTrack:
+    def test_naming(self):
+        assert worker_track("gpu", 3) == "gpu[w3]"
+
+
+class TestWorkerEventLog:
+    def test_records_and_drains(self):
+        log = WorkerEventLog()
+        log.emit(EventKind.EXEC_BEGIN, region=7, name="r")
+        log.emit(EventKind.EXEC_END, region=7, name="r", arg="completed")
+        items = log.drain()
+        assert [i[0] for i in items] == [
+            int(EventKind.EXEC_BEGIN), int(EventKind.EXEC_END),
+        ]
+        assert items[0][2] == 7 and items[1][4] == "completed"
+        assert log.drain() == []  # drained means drained
+
+    def test_bounded(self):
+        log = WorkerEventLog(limit=2)
+        for _ in range(5):
+            log.emit(EventKind.EXEC_BEGIN)
+        assert len(log.items) == 2
+        assert log.dropped == 3
+
+
+class TestMerge:
+    def test_offset_track_and_thread_applied(self):
+        session = TraceSession()
+        session.start()
+        merged = merge_worker_events(
+            session,
+            [(int(EventKind.EXEC_BEGIN), 1000, 7, "r", None)],
+            offset_ns=500, track="pool[w0]", thread="pid 42",
+        )
+        session.stop()
+        assert merged == 1
+        (event,) = session.events()
+        assert event.ts == 1500
+        assert event.target == "pool[w0]"
+        assert event.thread == "pid 42"
+        assert event.kind is EventKind.EXEC_BEGIN
+
+    def test_unknown_kind_values_skipped(self):
+        session = TraceSession()
+        session.start()
+        merged = merge_worker_events(
+            session,
+            [(10_000, 0, None, None, None),
+             (int(EventKind.EXEC_END), 1, None, None, None)],
+            offset_ns=0, track="t", thread="x",
+        )
+        session.stop()
+        assert merged == 1
+
+
+class TestEndToEndTrace:
+    def test_remote_region_has_full_lifecycle_on_one_clock(self, proc_rt):
+        session = obs.enable()
+        try:
+            proc_rt.invoke_target_block("pool", TargetRegion(bodies.sleepy, 0.01))
+            events = list(session.events())
+        finally:
+            obs.disable()
+        kinds = {e.kind.name for e in events}
+        assert {"REGION_SUBMIT", "ENQUEUE", "DEQUEUE"} <= kinds
+        execs = [e for e in events if "[w" in (e.target or "")
+                 and e.kind.name in ("EXEC_BEGIN", "EXEC_END")]
+        assert len(execs) == 2, f"worker exec events missing: {kinds}"
+        assert execs[0].thread.startswith("pid ")
+        # Merged worker timestamps must sort after the parent-side dispatch
+        # events -- the whole point of the clock handshake.
+        dequeues = [e for e in events if e.kind.name == "DEQUEUE"]
+        assert min(e.ts for e in execs) >= max(e.ts for e in dequeues)
+
+    def test_chrome_export_gives_workers_their_own_track(self, proc_rt):
+        session = obs.enable()
+        try:
+            proc_rt.invoke_target_block("pool", TargetRegion(bodies.sleepy, 0.01))
+            doc = obs.to_chrome_trace(session.events())
+        finally:
+            obs.disable()
+        names = {
+            ev["args"]["name"] for ev in doc["traceEvents"]
+            if ev.get("ph") == "M" and ev.get("name") == "process_name"
+        }
+        assert any("[w" in n for n in names), names

@@ -1,0 +1,89 @@
+"""Wire-format unit tests: serialization, exception shipping, messages."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core.errors import RemoteExecutionError, SerializationError
+from repro.dist import wire
+
+
+class TestDumpsLoads:
+    def test_round_trip(self):
+        payload = ({"a": [1, 2, 3]}, (4, 5), {"k": "v"})
+        assert wire.loads(wire.dumps(payload)) == payload
+
+    def test_unpicklable_raises_serialization_error(self):
+        with pytest.raises(SerializationError) as exc_info:
+            wire.dumps(threading.Lock(), what="payload of region 'r'")
+        assert "payload of region 'r'" in str(exc_info.value)
+        assert exc_info.value.__cause__ is not None
+
+    def test_corrupt_blob_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            wire.loads(b"not a pickle")
+
+    @pytest.mark.skipif(not wire.HAVE_CLOUDPICKLE, reason="cloudpickle absent")
+    def test_lambda_round_trip_with_cloudpickle(self):
+        fn = wire.loads(wire.dumps(lambda x: x + 1))
+        assert fn(41) == 42
+
+
+class TestExceptionShipping:
+    def test_picklable_exception_survives_with_traceback(self):
+        try:
+            raise ValueError("kapow")
+        except ValueError as exc:
+            blob, text, tb = wire.pack_exception(exc)
+        assert blob is not None
+        assert "kapow" in text
+        assert "ValueError" in tb
+        rebuilt = wire.unpack_exception(blob, text, tb)
+        assert isinstance(rebuilt, ValueError)
+        assert rebuilt.remote_traceback == tb
+
+    def test_unpicklable_exception_degrades_to_remote_error(self):
+        class Cursed(Exception):
+            def __init__(self):
+                super().__init__("cursed")
+                self.lock = threading.Lock()
+
+        try:
+            raise Cursed()
+        except Cursed as exc:
+            blob, text, tb = wire.pack_exception(exc)
+        assert blob is None
+        rebuilt = wire.unpack_exception(blob, text, tb)
+        assert isinstance(rebuilt, RemoteExecutionError)
+        assert "cursed" in str(rebuilt)
+        assert rebuilt.remote_traceback == tb
+
+
+class TestMessages:
+    @pytest.mark.parametrize(
+        "msg",
+        [
+            wire.SyncMsg(123),
+            wire.SyncAck(456, 789),
+            wire.TaskMsg(1, "r", "f.py:3", b"blob", True),
+            wire.ResultMsg(1, True, b"ok", None, None, None, [], 0),
+            wire.StopMsg(),
+            wire.PingMsg(42),
+            wire.PongMsg(42, 99),
+            wire.CancelMsg(7),
+        ],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_messages_pickle_round_trip(self, msg):
+        clone = pickle.loads(pickle.dumps(msg))
+        assert type(clone) is type(msg)
+        for field in msg.__slots__:
+            assert getattr(clone, field) == getattr(msg, field)
+
+    def test_task_msg_fields(self):
+        msg = wire.TaskMsg(9, "region", "a.py:1", b"x", False)
+        assert (msg.seq, msg.name, msg.source) == (9, "region", "a.py:1")
+        assert msg.blob == b"x" and msg.trace is False

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.kernels",
     "repro.sim",
     "repro.adapters",
+    "repro.dist",
 ]
 
 
