@@ -5,21 +5,24 @@ Algorithm 1 runs the block synchronously instead of posting it.  This
 ablation measures the cost of disabling that rule: every member-thread
 dispatch pays a queue round trip (and, on a single-member EDT, would even
 deadlock for waiting modes — which is why the rule exists).
+
+Both variants are registered with :mod:`repro.bench`
+(``python -m repro bench --filter ablation_inline``); the pytest entry
+points wrap the same registrations.
 """
 
 from __future__ import annotations
 
-import pytest
-
+from repro import bench as hbench
 from repro.core import PjRuntime, TargetRegion
 
+DEPTH = 8
 
-@pytest.fixture()
-def rt():
-    runtime = PjRuntime()
-    runtime.create_worker("worker", 2)
-    yield runtime
-    runtime.shutdown(wait=False)
+
+def _worker_runtime() -> PjRuntime:
+    rt = PjRuntime()
+    rt.create_worker("worker", 2)
+    return rt
 
 
 def _nested_dispatch_inline(rt: PjRuntime, depth: int) -> int:
@@ -52,31 +55,58 @@ def _nested_dispatch_posted(rt: PjRuntime, depth: int) -> int:
     return region.result(timeout=10)
 
 
-DEPTH = 8
+@hbench.benchmark("ablation_inline_enabled", group="ablation", number=10)
+def _inline_enabled():
+    """Nested member-thread dispatch with the inlining rule active."""
+    rt = _worker_runtime()
+    return (
+        lambda: _nested_dispatch_inline(rt, DEPTH),
+        lambda: rt.shutdown(wait=False),
+    )
 
 
-def test_ablation_inline_enabled(benchmark, rt):
-    assert _nested_dispatch_inline(rt, DEPTH) == DEPTH
-    benchmark(lambda: _nested_dispatch_inline(rt, DEPTH))
+@hbench.benchmark("ablation_inline_disabled", group="ablation", number=10)
+def _inline_disabled():
+    """The ablated variant: every nesting level pays a queue round trip.
 
-
-def test_ablation_inline_disabled(benchmark, rt):
-    # Needs a pool wider than the nesting depth to avoid self-deadlock —
-    # itself a demonstration of why Algorithm 1 inlines.
-    rt.unregister_target("worker")
+    Needs a pool wider than the nesting depth to avoid self-deadlock —
+    itself a demonstration of why Algorithm 1 inlines.
+    """
+    rt = PjRuntime()
     rt.create_worker("worker", DEPTH + 2)
-    assert _nested_dispatch_posted(rt, DEPTH) == DEPTH
-    benchmark(lambda: _nested_dispatch_posted(rt, DEPTH))
+    return (
+        lambda: _nested_dispatch_posted(rt, DEPTH),
+        lambda: rt.shutdown(wait=False),
+    )
 
 
-def test_ablation_inline_prevents_deadlock(rt):
+def _run_registered(benchmark, name: str):
+    op, cleanup = hbench.get(name).build()
+    try:
+        assert op() == DEPTH
+        benchmark(op)
+    finally:
+        cleanup()
+
+
+def test_ablation_inline_enabled(benchmark):
+    _run_registered(benchmark, "ablation_inline_enabled")
+
+
+def test_ablation_inline_disabled(benchmark):
+    _run_registered(benchmark, "ablation_inline_disabled")
+
+
+def test_ablation_inline_prevents_deadlock():
     """With a 1-thread pool, nested waiting dispatch only works because of
     the inline rule; the posted variant would starve."""
-    rt.unregister_target("worker")
+    rt = PjRuntime()
     rt.create_worker("worker", 1)
+    try:
+        def nested():
+            return rt.invoke_target_block("worker", lambda: "inner").result()
 
-    def nested():
-        return rt.invoke_target_block("worker", lambda: "inner").result()
-
-    handle = rt.invoke_target_block("worker", nested, "nowait")
-    assert handle.result(timeout=5) == "inner"
+        handle = rt.invoke_target_block("worker", nested, "nowait")
+        assert handle.result(timeout=5) == "inner"
+    finally:
+        rt.shutdown(wait=False)

@@ -11,6 +11,7 @@ with long handlers — and prints both timelines.
 
 from __future__ import annotations
 
+from repro import bench as hbench
 from repro.sim import GuiBenchConfig, KernelCostModel, run_gui_benchmark
 
 HANDLER = KernelCostModel("fig1-handler", serial_time=0.200, parallel_fraction=0.9)
@@ -25,6 +26,13 @@ def scenario(approach: str):
         n_events=3,
     )
     return run_gui_benchmark(cfg)
+
+
+@hbench.benchmark("fig1_dispatch_timeline", group="sim", slow=True)
+def _fig1_registered():
+    """Figure 1 scenario, both timelines (simulated time; wall cost is the
+    simulator itself)."""
+    return lambda: {a: scenario(a) for a in ("sequential", "executor")}
 
 
 def test_fig1_dispatch_timelines(benchmark, report):

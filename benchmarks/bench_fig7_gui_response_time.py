@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import bench as hbench
 from repro.sim import GUI_KERNELS, GuiBenchConfig, run_gui_benchmark
 
 RATES = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
@@ -93,3 +94,7 @@ def test_fig7_response_time_vs_load(benchmark, report, kernel_name):
     sync_capacity = 1.0 / kernel.span(4)
     if RATES[-1] > 1.1 * sync_capacity:
         assert data["sync_parallel"][-1] > data["pyjama_async"][-1]
+@hbench.benchmark("fig7_gui_sweep_crypt", group="sim", slow=True)
+def _fig7_registered():
+    """Figure 7 rate sweep for the crypt kernel, all five approaches."""
+    return lambda: sweep("crypt")

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import bench as hbench
 from repro.sim import GUI_KERNELS, GuiBenchConfig, run_gui_benchmark
 
 RATES = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
@@ -86,3 +87,7 @@ def test_fig8_async_vs_async_parallel(benchmark, report, kernel_name):
     if sat_idx is not None:
         assert data["pyjama_async"][sat_idx] < data["sequential"][sat_idx]
         assert data["async_parallel"][sat_idx] < data["sequential"][sat_idx]
+@hbench.benchmark("fig8_async_parallel_crypt", group="sim", slow=True)
+def _fig8_registered():
+    """Figure 8 rate sweep for crypt: async vs async-parallel handling."""
+    return lambda: sweep("crypt")

@@ -13,6 +13,7 @@ four variants — Jetty, Pyjama, and each combined with per-request
 
 from __future__ import annotations
 
+from repro import bench as hbench
 from repro.sim import HttpBenchConfig, run_http_benchmark
 
 WORKERS = [1, 2, 4, 8, 16, 32, 64]
@@ -101,3 +102,7 @@ def test_fig9_throughput_vs_worker_threads(benchmark, report):
 
     # (5) peak plain throughput reaches the machine ceiling (~50/s).
     assert 40 < max(pyjama) <= 50
+@hbench.benchmark("fig9_http_throughput", group="sim", slow=True)
+def _fig9_registered():
+    """Figure 9 worker-thread sweep, all four server variants."""
+    return sweep

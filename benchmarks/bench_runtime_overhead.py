@@ -9,41 +9,47 @@ ExecutorService pattern it replaces.  Here we measure, on real threads:
 
 The three should be within the same order of magnitude; Algorithm 1 adds a
 registry lookup and a context check on top of the queue hand-off.
+
+Each measurement is registered once with :mod:`repro.bench` (so
+``python -m repro bench --filter overhead`` runs it under the shared
+protocol) and the pytest entry points below are thin wrappers over the same
+registrations.
 """
 
 from __future__ import annotations
 
-import pytest
-
+from repro import bench as hbench
 from repro.compiler import exec_omp
 from repro.core import PjRuntime
 from repro.eventloop import ExecutorService
 
 
-@pytest.fixture()
-def rt():
-    runtime = PjRuntime()
-    runtime.create_worker("worker", 2)
-    yield runtime
-    runtime.shutdown(wait=False)
+def _worker_runtime() -> PjRuntime:
+    rt = PjRuntime()
+    rt.create_worker("worker", 2)
+    return rt
 
 
-@pytest.fixture()
-def pool():
-    p = ExecutorService(2, name="manual")
-    yield p
-    p.shutdown_now()
+@hbench.benchmark("overhead_pyjama_dispatch", group="overhead", number=50)
+def _pyjama_dispatch():
+    """Algorithm 1 dispatch+join round trip on a 2-thread worker target."""
+    rt = _worker_runtime()
+    op = lambda: rt.invoke_target_block("worker", lambda: 42).result()
+    return op, lambda: rt.shutdown(wait=False)
 
 
-def test_overhead_pyjama_dispatch(benchmark, rt):
-    benchmark(lambda: rt.invoke_target_block("worker", lambda: 42).result())
+@hbench.benchmark("overhead_manual_executor", group="overhead", number=50)
+def _manual_executor():
+    """The hand-written ExecutorService submit+get baseline."""
+    pool = ExecutorService(2, name="manual")
+    op = lambda: pool.submit(lambda: 42).get()
+    return op, pool.shutdown_now
 
 
-def test_overhead_manual_executor(benchmark, pool):
-    benchmark(lambda: pool.submit(lambda: 42).get())
-
-
-def test_overhead_compiled_pragma(benchmark, rt):
+@hbench.benchmark("overhead_compiled_pragma", group="overhead", number=50)
+def _compiled_pragma():
+    """The ``#omp target virtual`` pragma compiled down to the same runtime."""
+    rt = _worker_runtime()
     ns = exec_omp(
         "def f():\n"
         "    #omp target virtual(worker)\n"
@@ -51,13 +57,13 @@ def test_overhead_compiled_pragma(benchmark, rt):
         "    return x\n",
         runtime=rt,
     )
-    f = ns["f"]
-    assert f() == 42
-    benchmark(f)
+    return ns["f"], lambda: rt.shutdown(wait=False)
 
 
-def test_overhead_inline_short_circuit(benchmark, rt):
+@hbench.benchmark("overhead_inline_short_circuit", group="overhead", number=50)
+def _inline_short_circuit():
     """Thread-context awareness: a member thread pays no queue round trip."""
+    rt = _worker_runtime()
 
     def member_dispatch():
         return rt.invoke_target_block(
@@ -65,4 +71,30 @@ def test_overhead_inline_short_circuit(benchmark, rt):
             lambda: rt.invoke_target_block("worker", lambda: 42).result(),
         ).result()
 
-    benchmark(member_dispatch)
+    return member_dispatch, lambda: rt.shutdown(wait=False)
+
+
+def _run_registered(benchmark, name: str, expect=None):
+    op, cleanup = hbench.get(name).build()
+    try:
+        if expect is not None:
+            assert op() == expect
+        benchmark(op)
+    finally:
+        cleanup()
+
+
+def test_overhead_pyjama_dispatch(benchmark):
+    _run_registered(benchmark, "overhead_pyjama_dispatch", expect=42)
+
+
+def test_overhead_manual_executor(benchmark):
+    _run_registered(benchmark, "overhead_manual_executor", expect=42)
+
+
+def test_overhead_compiled_pragma(benchmark):
+    _run_registered(benchmark, "overhead_compiled_pragma", expect=42)
+
+
+def test_overhead_inline_short_circuit(benchmark):
+    _run_registered(benchmark, "overhead_inline_short_circuit", expect=42)

@@ -25,6 +25,7 @@ import time
 
 import pytest
 
+from repro import bench as hbench
 from repro import obs
 from repro.core import PjRuntime
 
@@ -48,6 +49,48 @@ def rt():
 
 def _noop() -> int:
     return 42
+
+
+def _traced_dispatch_setup(mode: str):
+    """Registry setup for one tracing mode on the real 2-thread round trip.
+
+    The single-thread post+drain variants of these modes live in
+    ``repro.bench.suites`` (``trace_off``/``trace_null``/``trace_ring...``);
+    these cross-thread versions carry real queue hand-off noise and are
+    therefore marked slow.
+    """
+
+    def setup():
+        if mode == "off":
+            obs.disable()
+        elif mode == "null":
+            obs.enable(null=True)
+        else:
+            obs.enable()
+        rt = PjRuntime()
+        rt.create_worker("worker", 2)
+
+        def cleanup():
+            rt.shutdown(wait=False)
+            obs.disable()
+            obs.session().clear()
+
+        return lambda: rt.invoke_target_block("worker", _noop).result(), cleanup
+
+    return setup
+
+
+for _mode in ("off", "null", "full"):
+    hbench.register(
+        hbench.Benchmark(
+            name=f"trace_dispatch_{_mode}",
+            setup=_traced_dispatch_setup(_mode),
+            group="trace",
+            number=100,
+            slow=True,
+            description=f"2-thread dispatch+join with tracing {_mode}",
+        )
+    )
 
 
 def _median_dispatch_s(rt: PjRuntime, n: int = 200, repeats: int = 5) -> float:

@@ -145,13 +145,12 @@ class AsyncioEdtTarget(VirtualTarget):
                 EventKind.ENQUEUE, target=self.name, region=region.seq,
                 name=region.label,
             )
-            session.emit(
-                EventKind.QUEUE_DEPTH, target=self.name, arg=len(self._inflight)
-            )
+            self._trace_depth(session)
 
     def _depth(self) -> int:
-        with self._inflight_cond:
-            return len(self._inflight)
+        # Caller may hold _inflight_cond (from _track); len() is a single
+        # C-level read, so no re-acquisition is needed for a sample.
+        return len(self._inflight)
 
     def _run_tracked(self, region: TargetRegion) -> None:
         try:

@@ -1,0 +1,66 @@
+"""repro.bench — the unified benchmark harness.
+
+One registry, one measurement protocol (warmup / repeats / outlier
+trimming on the shared ``perf_counter_ns`` clock), one machine-readable
+result schema (``repro.bench/v1``), so performance numbers are comparable
+across PRs, hosts, and tracing modes.  See ``docs/BENCHMARKS.md`` for the
+protocol, the JSON schema, and how to add a benchmark; ``python -m repro
+bench`` is the command-line entry point, and ``--compare`` turns any
+archived result document into a regression gate.
+"""
+
+from .env import environment_fingerprint, fingerprint_delta
+from .harness import (
+    Benchmark,
+    BenchResult,
+    Protocol,
+    all_benchmarks,
+    benchmark,
+    clear_registry,
+    get,
+    percentile,
+    register,
+    run_benchmark,
+    run_selected,
+    select,
+    unregister,
+)
+from .report import (
+    SCHEMA,
+    Comparison,
+    compare,
+    format_comparison,
+    format_table,
+    load_json,
+    results_document,
+    write_json,
+)
+from .suites import load_builtin, load_external
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "Protocol",
+    "benchmark",
+    "register",
+    "unregister",
+    "get",
+    "all_benchmarks",
+    "select",
+    "run_benchmark",
+    "run_selected",
+    "clear_registry",
+    "percentile",
+    "environment_fingerprint",
+    "fingerprint_delta",
+    "SCHEMA",
+    "results_document",
+    "write_json",
+    "load_json",
+    "format_table",
+    "Comparison",
+    "compare",
+    "format_comparison",
+    "load_builtin",
+    "load_external",
+]

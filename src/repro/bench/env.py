@@ -1,0 +1,60 @@
+"""Environment fingerprinting for benchmark results.
+
+A number without its environment is not comparable: the JSON trajectory
+spans PRs, machines, and (eventually) GIL modes, so every result document
+embeds the fingerprint of the interpreter and host that produced it.
+``compare`` warns when fingerprints differ — a regression measured on a
+different CPU count is a fact about the host, not the code.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from typing import Any
+
+__all__ = ["environment_fingerprint", "fingerprint_delta"]
+
+#: Fields whose change makes two result documents incomparable for
+#: regression gating (the rest are informational).
+COMPARABILITY_FIELDS = ("implementation", "machine", "cpu_count", "gil")
+
+
+def _gil_mode() -> str:
+    """``on`` / ``off`` (free-threaded build) / the pre-3.13 default."""
+    try:
+        return "off" if not sys._is_gil_enabled() else "on"  # type: ignore[attr-defined]
+    except AttributeError:
+        return "on"
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """The host/interpreter facts stamped into every result document."""
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # macOS / Windows
+        usable = os.cpu_count() or 1
+    from .. import __version__
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "usable_cores": usable,
+        "gil": _gil_mode(),
+        "perf_counter_resolution_s": time.get_clock_info("perf_counter").resolution,
+        "repro_version": __version__,
+    }
+
+
+def fingerprint_delta(a: dict[str, Any], b: dict[str, Any]) -> list[str]:
+    """Comparability fields that differ between two fingerprints."""
+    return [
+        f"{key}: {a.get(key)!r} != {b.get(key)!r}"
+        for key in COMPARABILITY_FIELDS
+        if a.get(key) != b.get(key)
+    ]

@@ -1,0 +1,206 @@
+"""Result documents: JSON schema, human table, and regression comparison.
+
+Schema (``repro.bench/v1``)::
+
+    {
+      "schema": "repro.bench/v1",
+      "created": "2026-08-06T12:00:00+00:00",
+      "env": { ...environment fingerprint... },
+      "protocol": {"warmup": 2, "repeats": 10, "trim": 0.2},
+      "benchmarks": {
+        "<name>": {
+          "group": "...", "number": 200, "repeats": 10, "trimmed": 2,
+          "samples_ns": [...], "min_ns": ..., "mean_ns": ...,
+          "p50_ns": ..., "p95_ns": ..., "max_ns": ...
+        }, ...
+      }
+    }
+
+``python -m repro bench`` writes one such document per run as
+``BENCH_<name>.json`` at the invocation directory (the repo root in CI),
+building the machine-readable perf trajectory the free-form ``.txt`` dumps
+never gave us.  ``compare`` gates a current document against a baseline:
+a benchmark regresses when its p50 exceeds the baseline p50 by more than
+the allowed percentage.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any
+
+from .env import environment_fingerprint, fingerprint_delta
+from .harness import BenchResult, Protocol
+
+__all__ = [
+    "SCHEMA",
+    "results_document",
+    "write_json",
+    "load_json",
+    "format_table",
+    "Comparison",
+    "compare",
+    "format_comparison",
+]
+
+SCHEMA = "repro.bench/v1"
+
+
+def results_document(
+    results: list[BenchResult],
+    protocol: Protocol | None = None,
+    *,
+    env: dict[str, Any] | None = None,
+    created: str | None = None,
+) -> dict[str, Any]:
+    """Assemble the schema-v1 document for *results*."""
+    proto = protocol or Protocol()
+    return {
+        "schema": SCHEMA,
+        "created": created
+        or datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
+        "env": env if env is not None else environment_fingerprint(),
+        "protocol": {
+            "warmup": proto.warmup,
+            "repeats": proto.repeats,
+            "trim": proto.trim,
+        },
+        "benchmarks": {r.name: r.to_dict() for r in results},
+    }
+
+
+def write_json(path: str | pathlib.Path, document: dict[str, Any]) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_json(path: str | pathlib.Path) -> dict[str, Any]:
+    document = json.loads(pathlib.Path(path).read_text())
+    schema = document.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, got {schema!r} "
+            "(regenerate the baseline with `python -m repro bench`)"
+        )
+    return document
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} µs"
+    return f"{ns:.0f} ns"
+
+
+def format_table(document: dict[str, Any]) -> str:
+    """The human view of a result document: one row per benchmark."""
+    rows = [("benchmark", "group", "p50", "p95", "min", "mean", "reps×n")]
+    for name in sorted(document["benchmarks"]):
+        b = document["benchmarks"][name]
+        rows.append(
+            (
+                name,
+                b["group"],
+                _fmt_ns(b["p50_ns"]),
+                _fmt_ns(b["p95_ns"]),
+                _fmt_ns(b["min_ns"]),
+                _fmt_ns(b["mean_ns"]),
+                f"{b['repeats']}×{b['number']}",
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) if j else cell.ljust(w)
+                               for j, (cell, w) in enumerate(zip(row, widths))))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    env = document.get("env", {})
+    lines.append(
+        f"[{env.get('implementation', '?')} {env.get('python', '?')}, "
+        f"{env.get('cpu_count', '?')} cpus, gil={env.get('gil', '?')}]"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- comparison
+
+@dataclass(frozen=True)
+class Comparison:
+    """One benchmark's current-vs-baseline verdict."""
+
+    name: str
+    baseline_p50_ns: float
+    current_p50_ns: float
+    change_pct: float
+    regressed: bool
+
+
+def compare(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    max_regress_pct: float = 25.0,
+) -> tuple[list[Comparison], list[str]]:
+    """Gate *current* against *baseline*.
+
+    Returns ``(comparisons, warnings)``.  Only benchmarks present in both
+    documents are compared; missing ones are reported as warnings, never as
+    regressions (a renamed benchmark must not silently pass either, so the
+    warning names it).  Environment drift between the documents is also a
+    warning — it does not veto the comparison, but a reader must see it.
+    """
+    warnings: list[str] = []
+    delta = fingerprint_delta(baseline.get("env", {}), current.get("env", {}))
+    if delta:
+        warnings.append("environment drift vs baseline: " + "; ".join(delta))
+    comparisons: list[Comparison] = []
+    cur = current["benchmarks"]
+    base = baseline["benchmarks"]
+    for name in sorted(base):
+        if name not in cur:
+            warnings.append(f"baseline benchmark {name!r} missing from current run")
+            continue
+        b50 = float(base[name]["p50_ns"])
+        c50 = float(cur[name]["p50_ns"])
+        change = ((c50 - b50) / b50 * 100.0) if b50 else 0.0
+        comparisons.append(
+            Comparison(
+                name=name,
+                baseline_p50_ns=b50,
+                current_p50_ns=c50,
+                change_pct=change,
+                regressed=change > max_regress_pct,
+            )
+        )
+    for name in sorted(set(cur) - set(base)):
+        warnings.append(f"benchmark {name!r} has no baseline entry (new?)")
+    return comparisons, warnings
+
+
+def format_comparison(
+    comparisons: list[Comparison], warnings: list[str], *, max_regress_pct: float
+) -> str:
+    lines = [f"{'benchmark':<32} {'baseline p50':>14} {'current p50':>14} {'change':>9}"]
+    lines.append("-" * len(lines[0]))
+    for c in comparisons:
+        flag = "  REGRESSION" if c.regressed else ""
+        lines.append(
+            f"{c.name:<32} {_fmt_ns(c.baseline_p50_ns):>14} "
+            f"{_fmt_ns(c.current_p50_ns):>14} {c.change_pct:>+8.1f}%{flag}"
+        )
+    regressed = [c for c in comparisons if c.regressed]
+    lines.append(
+        f"{len(comparisons)} compared, {len(regressed)} regression(s) "
+        f"(threshold +{max_regress_pct:g}% on p50)"
+    )
+    for w in warnings:
+        lines.append(f"warning: {w}")
+    return "\n".join(lines)

@@ -244,6 +244,62 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the unified benchmark harness (see docs/BENCHMARKS.md).
+
+    ``python -m repro bench --filter dispatch`` measures the dispatch group
+    and writes ``BENCH_dispatch.json``; add ``--compare BASELINE.json`` to
+    gate against an archived result (non-zero exit on regression).
+    """
+    import pathlib
+    import re
+
+    from . import bench as b
+
+    b.load_builtin()
+    if not args.no_external:
+        b.load_external()
+
+    if args.list:
+        for bm in b.all_benchmarks():
+            slow = " [slow]" if bm.slow else ""
+            tags = f" tags={','.join(bm.tags)}" if bm.tags else ""
+            print(f"{bm.name:<28} group={bm.group}{tags}{slow}  {bm.description}")
+        return 0
+
+    selected = b.select(args.filter, include_slow=args.slow)
+    if not selected:
+        print(f"no benchmarks match {args.filter!r} "
+              "(use --list to see what is registered)", file=sys.stderr)
+        return 2
+    protocol = b.Protocol(warmup=args.warmup, repeats=args.repeats, trim=args.trim)
+    results = b.run_selected(
+        args.filter, protocol, include_slow=args.slow,
+        progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
+    )
+    document = b.results_document(results, protocol)
+
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", args.filter) if args.filter else "all"
+    out = pathlib.Path(args.output) if args.output else pathlib.Path(f"BENCH_{stem}.json")
+    b.write_json(out, document)
+    print(b.format_table(document))
+    print(f"wrote {out}")
+
+    if args.compare is None:
+        return 0
+    try:
+        baseline = b.load_json(args.compare)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    comparisons, warnings = b.compare(
+        document, baseline, max_regress_pct=args.max_regress
+    )
+    print(b.format_comparison(comparisons, warnings,
+                              max_regress_pct=args.max_regress))
+    return 1 if any(c.regressed for c in comparisons) else 0
+
+
 def cmd_kernels(args: argparse.Namespace) -> int:
     print(f"{'kernel':>12} | {'size':>8} | {'valid':>5} | {'t (ms)':>8} | paper | description")
     for name in sorted(KERNELS):
@@ -364,6 +420,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="also print latency histograms (p50/p95/p99)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the unified benchmark harness (docs/BENCHMARKS.md)",
+    )
+    p.add_argument("--filter", default=None,
+                   help="substring matched against name/group/tags")
+    p.add_argument("--warmup", type=int, default=2,
+                   help="untimed warmup samples per benchmark")
+    p.add_argument("--repeats", type=int, default=10,
+                   help="timed samples per benchmark")
+    p.add_argument("--trim", type=float, default=0.2,
+                   help="fraction of slowest samples dropped before stats")
+    p.add_argument("--slow", action="store_true",
+                   help="include benchmarks marked slow")
+    p.add_argument("--list", action="store_true",
+                   help="list registered benchmarks and exit")
+    p.add_argument("--no-external", action="store_true",
+                   help="skip importing benchmarks/ registrations")
+    p.add_argument("-o", "--output", default=None,
+                   help="result JSON path (default: BENCH_<filter>.json in cwd)")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="gate against an archived result document")
+    p.add_argument("--max-regress", type=float, default=25.0,
+                   help="allowed p50 regression in percent (with --compare)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "compile", help="source-to-source compile a file's #omp pragmas"

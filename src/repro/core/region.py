@@ -112,8 +112,9 @@ class TargetRegion:
     """
 
     __slots__ = (
-        "body", "args", "kwargs", "name", "source", "seq", "_state", "_result",
-        "_exception", "_done", "_lock", "_callbacks", "cancel_token",
+        "body", "args", "kwargs", "_name", "source", "seq", "_state", "_result",
+        "_exception", "_finished", "_done", "_lock", "_callbacks",
+        "_cancel_token",
     )
 
     def __init__(
@@ -127,19 +128,50 @@ class TargetRegion:
         self.body = body
         self.args = args
         self.kwargs = kwargs
-        self.name = name or f"TargetRegion_{next(_region_counter)}"
+        self._name = name
         self.source = source
         #: Process-unique id correlating this region's trace events.
         self.seq = next(_region_seq)
         self._state = RegionState.PENDING
         self._result: Any = None
         self._exception: BaseException | None = None
-        self._done = threading.Event()
+        # Dispatch is the runtime's hot path, so the waiter machinery is
+        # lazy: the done Event exists only once someone blocks on the region
+        # (inline and fire-and-forget dispatches never pay for it), and the
+        # cancel token only once someone asks for it.  ``_finished`` is the
+        # lock-free done flag (a plain bool write is atomic under the GIL).
+        self._finished = False
+        self._done: threading.Event | None = None
         self._lock = threading.Lock()
         self._callbacks: list[Callable[["TargetRegion"], None]] = []
-        self.cancel_token = CancelToken()
+        self._cancel_token: CancelToken | None = None
 
     # ------------------------------------------------------------------ state
+
+    @property
+    def name(self) -> str:
+        """Debug name (generated lazily off the dispatch path)."""
+        n = self._name
+        if n is None:
+            n = self._name = f"TargetRegion_{next(_region_counter)}"
+        return n
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
+
+    @property
+    def cancel_token(self) -> CancelToken:
+        """The cooperative cancellation token (created on first use)."""
+        tok = self._cancel_token
+        if tok is None:
+            with self._lock:
+                tok = self._cancel_token
+                if tok is None:
+                    tok = self._cancel_token = CancelToken()
+                    if self._state is RegionState.CANCELLED:
+                        tok.set()
+        return tok
 
     @property
     def state(self) -> RegionState:
@@ -147,7 +179,7 @@ class TargetRegion:
 
     @property
     def done(self) -> bool:
-        return self._done.is_set()
+        return self._finished
 
     @property
     def exception(self) -> BaseException | None:
@@ -178,10 +210,16 @@ class TargetRegion:
             self._state = RegionState.CANCELLED
             if reason is not None:
                 self._exception = reason
+            # The done flag flips inside the transition lock so a concurrent
+            # wait() either sees it or has already installed the event we
+            # release below — no lost wakeup either way.
+            self._finished = True
+            ev = self._done
             callbacks = list(self._callbacks)
             self._callbacks.clear()
         self.cancel_token.set()
-        self._done.set()
+        if ev is not None:
+            ev.set()
         if _trace.is_enabled():
             _trace.emit(
                 EventKind.CANCEL,
@@ -202,7 +240,7 @@ class TargetRegion:
         """
         if self.cancel(reason):
             return True
-        if not self._done.is_set():
+        if not self._finished:
             self.cancel_token.set()
         return False
 
@@ -227,17 +265,22 @@ class TargetRegion:
             with self._lock:
                 self._exception = exc
                 self._state = RegionState.FAILED
+                self._finished = True
+                ev = self._done
                 callbacks = list(self._callbacks)
                 self._callbacks.clear()
         else:
             with self._lock:
                 self._result = result
                 self._state = RegionState.COMPLETED
+                self._finished = True
+                ev = self._done
                 callbacks = list(self._callbacks)
                 self._callbacks.clear()
         finally:
             _current_region.value = previous
-        self._done.set()
+        if ev is not None:
+            ev.set()
         for cb in callbacks:
             cb(self)
 
@@ -277,9 +320,12 @@ class TargetRegion:
             else:
                 self._result = result
                 self._state = RegionState.COMPLETED
+            self._finished = True
+            ev = self._done
             callbacks = list(self._callbacks)
             self._callbacks.clear()
-        self._done.set()
+        if ev is not None:
+            ev.set()
         for cb in callbacks:
             cb(self)
         return True
@@ -300,7 +346,15 @@ class TargetRegion:
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until terminal; returns False on timeout."""
-        return self._done.wait(timeout)
+        if self._finished:
+            return True
+        with self._lock:
+            if self._finished:
+                return True
+            ev = self._done
+            if ev is None:
+                ev = self._done = threading.Event()
+        return ev.wait(timeout)
 
     def result(self, timeout: float | None = None) -> Any:
         """Block until terminal and return the body's return value.
@@ -310,7 +364,7 @@ class TargetRegion:
         :class:`RegionFailedError` wrapping ``CancelledError``-like state if
         cancelled.
         """
-        if not self._done.wait(timeout):
+        if not self.wait(timeout):
             raise TimeoutError(f"timed out waiting for {self.name}")
         if self._state is RegionState.CANCELLED:
             raise RegionCancelledError(self.name, self._exception)

@@ -36,6 +36,13 @@ from .tags import TagRegistry
 
 __all__ = ["PjRuntime", "default_runtime", "set_default_runtime", "reset_default_runtime"]
 
+# Dispatch-plan tables, precomputed so the per-dispatch clause decision is a
+# dict/frozenset lookup instead of enum construction and per-call tuple
+# building (SchedulingMode.is_fire_and_forget allocates a tuple each call).
+_MODE_BY_VALUE = {m.value: m for m in SchedulingMode}
+_FIRE_AND_FORGET = frozenset((SchedulingMode.NOWAIT, SchedulingMode.NAME_AS))
+_WAITING_MODES = frozenset((SchedulingMode.DEFAULT, SchedulingMode.AWAIT))
+
 
 class PjRuntime:
     """A self-contained runtime instance.
@@ -66,6 +73,12 @@ class PjRuntime:
 
     def __init__(self) -> None:
         self._targets: dict[str, VirtualTarget] = {}
+        # Read-mostly snapshot of the registry (copy-on-write): every
+        # mutation republishes a fresh dict under ``_lock``, so the dispatch
+        # hot path resolves names with one lock-free dict read.  Rebinding a
+        # dict attribute is atomic under the GIL; readers see either the old
+        # or the new snapshot, never a half-mutated one.
+        self._targets_view: dict[str, VirtualTarget] = {}
         self._lock = threading.Lock()
         self.tags = TagRegistry()
         # ICVs
@@ -119,6 +132,7 @@ class PjRuntime:
             if target.name in self._targets:
                 raise TargetExistsError(target.name)
             self._targets[target.name] = target
+            self._targets_view = dict(self._targets)
             if self.default_target_var is None:
                 self.default_target_var = target.name
         return target
@@ -231,23 +245,22 @@ class PjRuntime:
         return target
 
     def get_target(self, name: str) -> VirtualTarget:
-        with self._lock:
-            try:
-                return self._targets[name]
-            except KeyError:
-                raise UnknownTargetError(name) from None
+        # Lock-free: reads the copy-on-write snapshot (see __init__).
+        target = self._targets_view.get(name)
+        if target is None:
+            raise UnknownTargetError(name)
+        return target
 
     def has_target(self, name: str) -> bool:
-        with self._lock:
-            return name in self._targets
+        return name in self._targets_view
 
     def target_names(self) -> list[str]:
-        with self._lock:
-            return sorted(self._targets)
+        return sorted(self._targets_view)
 
     def unregister_target(self, name: str, *, shutdown: bool = True, wait: bool = False) -> None:
         with self._lock:
             target = self._targets.pop(name, None)
+            self._targets_view = dict(self._targets)
             if self.default_target_var == name:
                 self.default_target_var = next(iter(self._targets), None)
         if target is not None and shutdown:
@@ -258,6 +271,7 @@ class PjRuntime:
         with self._lock:
             targets = list(self._targets.values())
             self._targets.clear()
+            self._targets_view = {}
             self.default_target_var = None
         for t in targets:
             t.shutdown(wait=wait)
@@ -286,7 +300,9 @@ class PjRuntime:
         :class:`AwaitTimeoutError` is raised with a diagnostic dump.
         """
         if isinstance(mode, str):
-            mode = SchedulingMode(mode)
+            # Table lookup on the hot path; fall back to the enum
+            # constructor so an unknown value raises the same ValueError.
+            mode = _MODE_BY_VALUE.get(mode) or SchedulingMode(mode)
         if not isinstance(region, TargetRegion):
             region = TargetRegion(region)
         if timeout is None:
@@ -296,7 +312,7 @@ class PjRuntime:
             # no-op on the executor, leaving fire-and-forget callers with a
             # silently dead handle and waiting callers with the right error
             # only by accident.  Surface it deterministically here.
-            if mode.is_fire_and_forget:
+            if mode in _FIRE_AND_FORGET:
                 return region
             region.result()  # raises RegionCancelledError
             return region
@@ -308,7 +324,10 @@ class PjRuntime:
         name = target_name if target_name is not None else self.default_target_var
         if name is None:
             raise UnknownTargetError("<default>")
-        executor = self.get_target(name)
+        # Lock-free registry snapshot read (copy-on-write, see __init__).
+        executor = self._targets_view.get(name)
+        if executor is None:
+            raise UnknownTargetError(name)
 
         session = _obs.session()
         if session.enabled:
@@ -344,14 +363,14 @@ class PjRuntime:
                     name=region.label,
                     arg="failed" if region.exception is not None else "completed",
                 )
-            if mode in (SchedulingMode.DEFAULT, SchedulingMode.AWAIT):
+            if mode in _WAITING_MODES:
                 region.result()  # re-raise body exception for waiting modes
             return region
 
         self._count("posted", mode.value)
         executor.post(region)  # line 8
 
-        if mode.is_fire_and_forget:  # lines 10-12
+        if mode in _FIRE_AND_FORGET:  # lines 10-12
             return region
 
         if mode is SchedulingMode.AWAIT:  # lines 13-16

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import abc
 import logging
+import os
 import queue
 import threading
 import time
@@ -54,6 +55,28 @@ _logger = logging.getLogger(__name__)
 #: ``caller_runs`` executes the item in the posting thread — the classic
 #: ThreadPoolExecutor.CallerRunsPolicy backpressure valve.
 REJECTION_POLICIES = ("block", "reject", "caller_runs")
+
+
+def _depth_stride_from_env() -> int:
+    """Queue-depth sampling stride (``REPRO_TRACE_DEPTH_STRIDE``, default 8).
+
+    With tracing on, every enqueue/dequeue used to emit a ``QUEUE_DEPTH``
+    sample — two extra events plus a depth computation per region on the hot
+    path.  Depth is a *trend* signal (Perfetto renders it as a counter
+    track), so sampling every Nth transition per target loses nothing a
+    human reads from the chart while cutting the tracing cost of the
+    steady-state dispatch loop.  Stride 1 restores the old exhaustive
+    behaviour; the first transition after a session (re)start always emits,
+    so short traces still contain samples.
+    """
+    raw = os.environ.get("REPRO_TRACE_DEPTH_STRIDE", "")
+    try:
+        return max(1, int(raw)) if raw else 8
+    except ValueError:
+        return 8
+
+
+QUEUE_DEPTH_SAMPLE_STRIDE = _depth_stride_from_env()
 
 
 def current_target() -> "VirtualTarget | None":
@@ -114,11 +137,15 @@ class _TargetQueue:
         self._not_full = threading.Condition(self._lock)
         self._closed = False
         self.high_water = 0
+        # Work items currently queued (sentinels excluded), maintained O(1)
+        # at put/get so capacity checks and depth samples never rescan the
+        # backlog.  Guarded by ``_lock``; read lock-free for telemetry.
+        self._work = 0
 
     # ------------------------------------------------------------- producers
 
     def _work_count(self) -> int:
-        return sum(1 for it in self._items if not isinstance(it, (_Wakeup, _Shutdown)))
+        return self._work
 
     def put(self, item: Any, *, block: bool = True, timeout: float | None = None) -> bool:
         """Enqueue *item*; returns False if a bounded queue stayed full.
@@ -131,19 +158,22 @@ class _TargetQueue:
             if self.capacity is not None:
                 if block:
                     ok = self._not_full.wait_for(
-                        lambda: self._closed or self._work_count() < self.capacity,
+                        lambda: self._closed or self._work < self.capacity,
                         timeout=timeout,
                     )
                     if self._closed:
                         raise TargetShutdownError(self._owner)
                     if not ok:
                         return False
-                elif self._work_count() >= self.capacity:
+                elif self._work >= self.capacity:
                     return False
             if self._closed:
                 raise TargetShutdownError(self._owner)
             self._items.append(item)
-            self.high_water = max(self.high_water, self._work_count())
+            if not isinstance(item, (_Wakeup, _Shutdown)):
+                self._work += 1
+                if self._work > self.high_water:
+                    self.high_water = self._work
             self._not_empty.notify()
         return True
 
@@ -160,6 +190,8 @@ class _TargetQueue:
             if not self._not_empty.wait_for(lambda: self._items, timeout=timeout):
                 raise queue.Empty
             item = self._items.pop(0)
+            if not isinstance(item, (_Wakeup, _Shutdown)):
+                self._work -= 1
             self._not_full.notify()
             return item
 
@@ -168,6 +200,8 @@ class _TargetQueue:
             if not self._items:
                 raise queue.Empty
             item = self._items.pop(0)
+            if not isinstance(item, (_Wakeup, _Shutdown)):
+                self._work -= 1
             self._not_full.notify()
             return item
 
@@ -184,6 +218,7 @@ class _TargetQueue:
         """Atomically remove and return everything queued (teardown helper)."""
         with self._lock:
             items, self._items = self._items, []
+            self._work = 0
             self._not_full.notify_all()
             return items
 
@@ -192,9 +227,13 @@ class _TargetQueue:
             return len(self._items)
 
     def work_count(self) -> int:
-        """Queued *work* items (sentinels excluded) — the queue-depth sample."""
-        with self._lock:
-            return self._work_count()
+        """Queued *work* items (sentinels excluded) — the queue-depth sample.
+
+        Lock-free: the counter is a single int maintained under the queue
+        lock; reading it races only by one item, which a telemetry sample
+        tolerates.
+        """
+        return self._work
 
 
 class VirtualTarget(abc.ABC):
@@ -222,6 +261,9 @@ class VirtualTarget(abc.ABC):
         self._queue = _TargetQueue(name, queue_capacity)
         self._members: set[threading.Thread] = set()
         self._members_lock = threading.Lock()
+        # Queue-depth sampling state: (trace-session generation, transitions
+        # since that generation started).  See QUEUE_DEPTH_SAMPLE_STRIDE.
+        self._depth_tick = (-1, 0)
         self._shutdown = threading.Event()
         self._stats_lock = threading.Lock()
         self._stats: dict[str, int] = {
@@ -239,10 +281,15 @@ class VirtualTarget(abc.ABC):
 
     def contains(self, thread: threading.Thread | None = None) -> bool:
         """True if *thread* (default: the calling thread) belongs to this
-        target's execution environment (Algorithm 1 line 6)."""
+        target's execution environment (Algorithm 1 line 6).
+
+        Lock-free on purpose: this check sits on every dispatch (the
+        affinity router consults it before posting), and CPython set
+        membership is a single C-level operation the GIL keeps consistent
+        against the guarded mutations in ``_enter_member``/``_exit_member``.
+        """
         thread = thread or threading.current_thread()
-        with self._members_lock:
-            return thread in self._members
+        return thread in self._members
 
     def _enter_member(self, thread: threading.Thread | None = None) -> None:
         thread = thread or threading.current_thread()
@@ -350,9 +397,7 @@ class VirtualTarget(abc.ABC):
                 EventKind.ENQUEUE, target=self.name, region=region, name=label,
                 ts=enq_ts,
             )
-            session.emit(
-                EventKind.QUEUE_DEPTH, target=self.name, arg=self._depth()
-            )
+            self._trace_depth(session)
 
     def wakeup(self) -> None:
         """Unblock one thread waiting on the queue without giving it work."""
@@ -446,6 +491,21 @@ class VirtualTarget(abc.ABC):
         """Current queue-depth sample (work items only; adapters override)."""
         return self._queue.work_count()
 
+    def _trace_depth(self, session: "_obs.TraceSession") -> None:
+        """Emit a sampled ``QUEUE_DEPTH`` event (caller checked enabled).
+
+        Samples every :data:`QUEUE_DEPTH_SAMPLE_STRIDE`-th enqueue/dequeue
+        per target and recording window; the first transition of a window
+        always emits so short traces still carry depth data.
+        """
+        gen = session.generation
+        g, tick = self._depth_tick
+        if g != gen:
+            tick = 0
+        self._depth_tick = (gen, tick + 1)
+        if tick % QUEUE_DEPTH_SAMPLE_STRIDE == 0:
+            session.emit(EventKind.QUEUE_DEPTH, target=self.name, arg=self._depth())
+
     def _trace_reject(self, item: Any, session: "_obs.TraceSession") -> None:
         if session.enabled:
             region, label = _item_identity(item)
@@ -459,9 +519,7 @@ class VirtualTarget(abc.ABC):
                 session.emit(
                     EventKind.DEQUEUE, target=self.name, region=region, name=label
                 )
-                session.emit(
-                    EventKind.QUEUE_DEPTH, target=self.name, arg=self._depth()
-                )
+                self._trace_depth(session)
             if isinstance(item, TargetRegion) and item.done:
                 # Withdrawn (cancelled) while queued: the dequeue discards a
                 # corpse, nothing executes — an EXEC span here would lie.

@@ -561,7 +561,7 @@ class ProcessTarget(VirtualTarget):
                 EventKind.DEQUEUE, target=self.name, region=region.seq,
                 name=region.label,
             )
-            session.emit(EventKind.QUEUE_DEPTH, target=self.name, arg=self._depth())
+            self._trace_depth(session)
         if region.done:
             return  # withdrawn (cancelled) while queued: nothing to ship
         try:

@@ -158,6 +158,17 @@ class TraceSession:
         """Stop recording; recorded events stay readable until the next start."""
         self.enabled = False
 
+    @property
+    def generation(self) -> int:
+        """Bumped on every start()/clear(): identifies one recording window.
+
+        Instrumentation that samples (e.g. the queue-depth stride in
+        ``repro.core.targets``) keys its counters on this so a fresh window
+        always begins with a sample instead of inheriting a mid-stride
+        counter from the previous run.
+        """
+        return self._generation
+
     def clear(self) -> None:
         """Drop all recorded events (keeps the enabled/disabled state)."""
         with self._lock:

@@ -1,0 +1,204 @@
+"""The measurement protocol, registry, and selection logic.
+
+The protocol is exercised with a deterministic fake clock so every assertion
+is exact: no sleeps, no tolerance bands, no flakiness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    Benchmark,
+    Protocol,
+    all_benchmarks,
+    benchmark,
+    clear_registry,
+    get,
+    percentile,
+    register,
+    run_benchmark,
+    run_selected,
+    select,
+    unregister,
+)
+
+
+class FakeClock:
+    """Returns scripted instants; one pair consumed per timed sample."""
+
+    def __init__(self, deltas_ns):
+        self.deltas_ns = list(deltas_ns)
+        self._now = 0
+        self._pending = None
+
+    def __call__(self) -> int:
+        if self._pending is None:
+            self._pending = self.deltas_ns.pop(0)
+            return self._now
+        self._now += self._pending
+        self._pending = None
+        return self._now
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry():
+    saved = {b.name: b for b in all_benchmarks()}
+    clear_registry()
+    yield
+    clear_registry()
+    for b in saved.values():
+        register(b)
+
+
+# ---------------------------------------------------------------- protocol
+
+class TestProtocol:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Protocol(warmup=-1)
+        with pytest.raises(ValueError):
+            Protocol(repeats=0)
+        with pytest.raises(ValueError):
+            Protocol(trim=1.0)
+        with pytest.raises(ValueError):
+            Protocol(trim=-0.1)
+
+    def test_fake_clock_samples_are_exact(self):
+        calls = []
+        bench = Benchmark("t", lambda: (lambda: calls.append(1)), number=4)
+        clock = FakeClock([4000, 8000, 4000, 4000])
+        proto = Protocol(warmup=1, repeats=4, trim=0.25, clock=clock)
+        result = run_benchmark(bench, proto)
+        # warmup ran number times, then repeats * number timed calls
+        assert len(calls) == (1 + 4) * 4
+        # per-op means: deltas / number
+        assert result.samples_ns == [1000.0, 2000.0, 1000.0, 1000.0]
+        # trim=0.25 of 4 samples drops the single slowest (the 2000)
+        assert result.trimmed == 1
+        assert result.kept_ns == [1000.0, 1000.0, 1000.0]
+        assert result.p50_ns == 1000.0
+        assert result.mean_ns == 1000.0
+        assert result.min_ns == result.max_ns == 1000.0
+
+    def test_zero_trim_keeps_everything(self):
+        bench = Benchmark("t", lambda: (lambda: None), number=1)
+        clock = FakeClock([100, 300, 200])
+        result = run_benchmark(bench, Protocol(warmup=0, repeats=3, trim=0.0, clock=clock))
+        assert result.trimmed == 0
+        assert sorted(result.samples_ns) == result.kept_ns == [100.0, 200.0, 300.0]
+
+    def test_cleanup_runs_even_when_op_raises(self):
+        cleaned = []
+
+        def setup():
+            def op():
+                raise RuntimeError("boom")
+
+            return op, lambda: cleaned.append(True)
+
+        bench = Benchmark("t", setup)
+        with pytest.raises(RuntimeError):
+            run_benchmark(bench, Protocol(warmup=0, repeats=1))
+        assert cleaned == [True]
+
+    def test_setup_without_cleanup_is_normalized(self):
+        bench = Benchmark("t", lambda: (lambda: None))
+        op, cleanup = bench.build()
+        op()
+        cleanup()  # the default no-op
+
+
+class TestPercentile:
+    def test_interpolation(self):
+        xs = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(xs, 50) == 25.0
+        assert percentile(xs, 0) == 10.0
+        assert percentile(xs, 100) == 40.0
+        assert percentile(xs, 95) == pytest.approx(38.5)
+
+    def test_single_sample(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+# ---------------------------------------------------------------- registry
+
+class TestRegistry:
+    def test_register_and_get(self):
+        b = register(Benchmark("alpha", lambda: (lambda: None)))
+        assert get("alpha") is b
+        with pytest.raises(KeyError):
+            get("missing")
+
+    def test_reregistration_replaces(self):
+        register(Benchmark("alpha", lambda: (lambda: None), number=1))
+        register(Benchmark("alpha", lambda: (lambda: None), number=7))
+        assert get("alpha").number == 7
+        assert len(all_benchmarks()) == 1
+
+    def test_unregister(self):
+        register(Benchmark("alpha", lambda: (lambda: None)))
+        unregister("alpha")
+        unregister("alpha")  # idempotent
+        assert all_benchmarks() == []
+
+    def test_decorator_registers_with_docstring_description(self):
+        @benchmark("beta", group="g", number=3, tags=("fast",))
+        def _setup():
+            """Short description."""
+            return lambda: None
+
+        b = get("beta")
+        assert b.group == "g" and b.number == 3 and b.tags == ("fast",)
+        assert b.description == "Short description."
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Benchmark("", lambda: None)
+        with pytest.raises(ValueError):
+            Benchmark("x", lambda: None, number=0)
+
+
+class TestSelect:
+    def _populate(self):
+        register(Benchmark("dispatch_fast", lambda: (lambda: None), group="dispatch"))
+        register(Benchmark("queue_drain", lambda: (lambda: None), group="queue",
+                           tags=("smoke",)))
+        register(Benchmark("heavy_sweep", lambda: (lambda: None), group="sim",
+                           slow=True))
+
+    def test_no_pattern_excludes_slow(self):
+        self._populate()
+        assert [b.name for b in select()] == ["dispatch_fast", "queue_drain"]
+
+    def test_include_slow(self):
+        self._populate()
+        assert [b.name for b in select(include_slow=True)] == [
+            "dispatch_fast", "heavy_sweep", "queue_drain",
+        ]
+
+    def test_pattern_matches_name_group_and_tags(self):
+        self._populate()
+        assert [b.name for b in select("dispatch")] == ["dispatch_fast"]
+        assert [b.name for b in select("smoke")] == ["queue_drain"]
+        assert [b.name for b in select("QUEUE")] == ["queue_drain"]
+
+    def test_name_match_overrides_slow_exclusion(self):
+        self._populate()
+        # naming a slow benchmark is an explicit request
+        assert [b.name for b in select("heavy_sweep")] == ["heavy_sweep"]
+        # but a group match alone does not drag slow benchmarks in
+        assert select("sim") == []
+
+    def test_run_selected_reports_progress(self):
+        self._populate()
+        seen = []
+        results = run_selected(
+            "dispatch", Protocol(warmup=0, repeats=1), progress=seen.append
+        )
+        assert seen == ["dispatch_fast"]
+        assert [r.name for r in results] == ["dispatch_fast"]

@@ -1,0 +1,138 @@
+"""Result documents: schema round-trip, table rendering, regression gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    BenchResult,
+    Protocol,
+    compare,
+    environment_fingerprint,
+    fingerprint_delta,
+    format_comparison,
+    format_table,
+    load_json,
+    results_document,
+    write_json,
+)
+
+
+def _result(name: str, samples, group: str = "g", number: int = 1) -> BenchResult:
+    return BenchResult(
+        name=name,
+        group=group,
+        number=number,
+        samples_ns=list(samples),
+        kept_ns=sorted(samples),
+        trimmed=0,
+    )
+
+
+def _doc(spec: dict[str, float], created: str = "2026-08-06T00:00:00+00:00"):
+    """A document with one single-sample benchmark per (name, p50) pair."""
+    results = [_result(name, [p50]) for name, p50 in spec.items()]
+    return results_document(results, Protocol(), created=created)
+
+
+class TestEnvironmentFingerprint:
+    def test_required_fields(self):
+        env = environment_fingerprint()
+        for key in ("python", "implementation", "machine", "cpu_count", "gil",
+                    "usable_cores", "repro_version"):
+            assert key in env, key
+
+    def test_delta_only_reports_comparability_fields(self):
+        a = environment_fingerprint()
+        b = dict(a)
+        b["python"] = "9.9.9"  # not a comparability field
+        assert fingerprint_delta(a, b) == []
+        b["cpu_count"] = (a.get("cpu_count") or 0) + 8
+        delta = fingerprint_delta(a, b)
+        assert len(delta) == 1 and "cpu_count" in delta[0]
+
+
+class TestJsonRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        doc = _doc({"a": 100.0, "b": 200.0})
+        path = write_json(tmp_path / "BENCH_test.json", doc)
+        loaded = load_json(path)
+        assert loaded == json.loads(json.dumps(doc))  # survives serialization
+        assert loaded["schema"] == SCHEMA
+        assert loaded["created"] == "2026-08-06T00:00:00+00:00"
+        assert loaded["protocol"] == {"warmup": 2, "repeats": 10, "trim": 0.2}
+        assert set(loaded["benchmarks"]) == {"a", "b"}
+        assert loaded["benchmarks"]["a"]["p50_ns"] == 100.0
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something/else", "benchmarks": {}}))
+        with pytest.raises(ValueError, match="expected schema"):
+            load_json(bad)
+
+    def test_load_rejects_schemaless_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError):
+            load_json(bad)
+
+
+class TestFormatTable:
+    def test_rows_and_units(self):
+        doc = _doc({"fast_ns": 42.0, "micro": 4200.0, "milli": 4.2e6, "sec": 4.2e9})
+        table = format_table(doc)
+        assert "42 ns" in table
+        assert "4.20 µs" in table
+        assert "4.20 ms" in table
+        assert "4.20 s" in table
+        assert "gil=" in table  # env footer
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        base = _doc({"a": 1000.0})
+        cur = _doc({"a": 1200.0})  # +20%
+        comparisons, warnings = compare(cur, base, max_regress_pct=25.0)
+        assert [c.regressed for c in comparisons] == [False]
+        assert comparisons[0].change_pct == pytest.approx(20.0)
+        assert warnings == []
+
+    def test_over_threshold_regresses(self):
+        base = _doc({"a": 1000.0})
+        cur = _doc({"a": 1300.0})  # +30%
+        comparisons, _ = compare(cur, base, max_regress_pct=25.0)
+        assert comparisons[0].regressed
+
+    def test_improvement_never_regresses(self):
+        comparisons, _ = compare(
+            _doc({"a": 100.0}), _doc({"a": 1000.0}), max_regress_pct=0.0
+        )
+        assert comparisons[0].change_pct == pytest.approx(-90.0)
+        assert not comparisons[0].regressed
+
+    def test_missing_and_new_benchmarks_warn_not_regress(self):
+        base = _doc({"a": 1000.0, "gone": 1.0})
+        cur = _doc({"a": 1000.0, "new": 1.0})
+        comparisons, warnings = compare(cur, base)
+        assert [c.name for c in comparisons] == ["a"]
+        assert any("'gone' missing" in w for w in warnings)
+        assert any("'new' has no baseline" in w for w in warnings)
+
+    def test_env_drift_is_a_warning(self):
+        base = _doc({"a": 1000.0})
+        cur = _doc({"a": 1000.0})
+        base["env"] = dict(base["env"], cpu_count=999)
+        _, warnings = compare(cur, base)
+        assert any("environment drift" in w for w in warnings)
+
+    def test_format_comparison_flags_regressions(self):
+        base = _doc({"a": 1000.0, "b": 1000.0})
+        cur = _doc({"a": 2000.0, "b": 900.0})
+        comparisons, warnings = compare(cur, base, max_regress_pct=25.0)
+        text = format_comparison(comparisons, warnings, max_regress_pct=25.0)
+        assert "REGRESSION" in text
+        assert "1 regression(s)" in text
+        assert "+100.0%" in text

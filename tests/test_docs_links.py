@@ -1,0 +1,49 @@
+"""Intra-repo markdown links must point at files that exist.
+
+Covers inline ``[text](target)`` links in the documentation set.  External
+links (http/https/mailto) are out of scope — checking them needs a network
+and their rot is not this repo's bug.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+# SNIPPETS.md / PAPERS.md quote material from other repositories; their
+# relative links point into those trees, not ours.
+_EXCLUDED = {"SNIPPETS.md", "PAPERS.md"}
+DOC_FILES = sorted(
+    [
+        *(p for p in REPO.glob("*.md") if p.name not in _EXCLUDED),
+        *(REPO / "docs").glob("*.md"),
+    ]
+)
+
+# [text](target) — won't catch reference-style links; the repo doesn't use them.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _targets(path: pathlib.Path):
+    text = path.read_text()
+    # Fenced code blocks may contain example links to files that don't exist.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in _LINK.finditer(text):
+        yield match.group(1)
+
+
+def test_intra_repo_links_resolve():
+    broken = []
+    for doc in DOC_FILES:
+        for target in _targets(doc):
+            if target.startswith(_EXTERNAL):
+                continue
+            if target.startswith("#"):
+                continue  # same-file anchor; heading drift is out of scope
+            rel = target.split("#", 1)[0]
+            resolved = (doc.parent / rel).resolve()
+            if not resolved.exists():
+                broken.append(f"{doc.relative_to(REPO)}: ({target})")
+    assert not broken, "broken intra-repo markdown links:\n" + "\n".join(broken)
