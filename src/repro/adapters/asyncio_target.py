@@ -111,6 +111,7 @@ class AsyncioEdtTarget(VirtualTarget):
             if cap is not None and len(self._inflight) >= cap:
                 if self.rejection_policy == "reject":
                     self._bump("rejected")
+                    self._trace_reject(region, _obs.session(), "reject")
                     raise QueueFullError(self.name, cap)
                 if self.rejection_policy == "caller_runs":
                     self._bump("caller_runs")
@@ -123,13 +124,17 @@ class AsyncioEdtTarget(VirtualTarget):
                     if self._shutdown.is_set():
                         raise TargetShutdownError(self.name)
                     if not ok:
+                        self._trace_reject(region, _obs.session(), "block")
                         raise QueueFullError(self.name, cap)
                     self._track(region)
                     return True
             else:
                 self._track(region)
                 return True
-        self._dispatch(region, dequeued=False)  # caller_runs
+        # caller_runs: the REJECT marker (arg: policy) tells trace verifiers
+        # this execution legitimately bypassed the queue.
+        self._trace_reject(region, _obs.session(), "caller_runs")
+        self._dispatch(region, dequeued=False)
         return False
 
     def _track(self, region: TargetRegion) -> None:

@@ -300,6 +300,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1 if any(c.regressed for c in comparisons) else 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Concurrency stress + trace-invariant checker (docs/CHECKING.md).
+
+    ``python -m repro check --profile smoke --seed 1234`` runs seeded random
+    workloads and verifies the recorded trace; non-zero exit means an
+    invariant was violated, and re-running with the printed seed reproduces
+    the report byte-for-byte.
+    """
+    from . import check as c
+
+    result = c.run_check(
+        profile=args.profile,
+        seed=args.seed,
+        iterations=args.iterations,
+        ops=args.ops,
+        inject=args.inject,
+        dist=args.dist,
+    )
+    print(c.render_report(result))
+    return 0 if result.ok else 1
+
+
 def cmd_kernels(args: argparse.Namespace) -> int:
     print(f"{'kernel':>12} | {'size':>8} | {'valid':>5} | {'t (ms)':>8} | paper | description")
     for name in sorted(KERNELS):
@@ -446,6 +468,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-regress", type=float, default=25.0,
                    help="allowed p50 regression in percent (with --compare)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "check",
+        help="concurrency stress + trace-invariant checker (docs/CHECKING.md)",
+    )
+    p.add_argument("--profile", choices=["smoke", "soak"], default="smoke",
+                   help="workload size: smoke = CI-sized, soak = long "
+                        "schedules plus the process-target phase")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed; a failing report replays "
+                        "byte-for-byte under the same seed")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="override the profile's iteration count")
+    p.add_argument("--ops", type=int, default=None,
+                   help="override the profile's operations per iteration")
+    p.add_argument("--inject", nargs="?", const="lying-exec-outcome",
+                   choices=["lying-exec-outcome", "lost-dequeue",
+                            "negative-depth"], default=None,
+                   help="tamper with iteration 0's recorded events to prove "
+                        "the checker catches a lying trace (forces exit 1)")
+    p.add_argument("--dist", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force the process-target phase on/off "
+                        "(default: per profile)")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
         "compile", help="source-to-source compile a file's #omp pragmas"

@@ -358,10 +358,18 @@ class PjRuntime:
                 )
             region.run()
             if session.enabled:
+                # Terminal state is the ground truth: a cancel that raced the
+                # inline run (run() then no-opped) stamps "cancelled", never a
+                # fabricated "completed".
+                if region.state is RegionState.CANCELLED:
+                    outcome = "cancelled"
+                elif region.exception is not None:
+                    outcome = "failed"
+                else:
+                    outcome = "completed"
                 session.emit(
                     EventKind.EXEC_END, target=name, region=region.seq,
-                    name=region.label,
-                    arg="failed" if region.exception is not None else "completed",
+                    name=region.label, arg=outcome,
                 )
             if mode in _WAITING_MODES:
                 region.result()  # re-raise body exception for waiting modes

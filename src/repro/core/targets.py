@@ -19,6 +19,7 @@ offloaded region to complete (Algorithm 1 lines 13-16).
 from __future__ import annotations
 
 import abc
+import itertools
 import logging
 import os
 import queue
@@ -29,13 +30,14 @@ from typing import Any, Callable
 from ..obs import EventKind
 from ..obs import recorder as _obs
 from ..obs.events import now_ns
+from . import injection as _inj
 from .errors import (
     AwaitTimeoutError,
     QueueFullError,
     RuntimeStateError,
     TargetShutdownError,
 )
-from .region import TargetRegion
+from .region import RegionState, TargetRegion
 
 __all__ = [
     "VirtualTarget",
@@ -68,6 +70,11 @@ def _depth_stride_from_env() -> int:
     steady-state dispatch loop.  Stride 1 restores the old exhaustive
     behaviour; the first transition after a session (re)start always emits,
     so short traces still contain samples.
+
+    Re-read by every target at the start of each recording window (see
+    :meth:`VirtualTarget._trace_depth`), so setting the variable after
+    ``import repro`` takes effect on the next trace start instead of being
+    silently ignored.
     """
     raw = os.environ.get("REPRO_TRACE_DEPTH_STRIDE", "")
     try:
@@ -76,6 +83,9 @@ def _depth_stride_from_env() -> int:
         return 8
 
 
+#: Import-time snapshot of the stride, kept as the documented default.  The
+#: live value is re-read per recording window by ``_trace_depth``; this
+#: constant only seeds targets before their first traced transition.
 QUEUE_DEPTH_SAMPLE_STRIDE = _depth_stride_from_env()
 
 
@@ -154,6 +164,17 @@ class _TargetQueue:
         :class:`TargetShutdownError` if the queue closes while waiting, so a
         poster blocked on a full queue cannot outlive the target.
         """
+        hooks = _inj.hooks
+        if (
+            hooks is not None
+            and hooks.force_queue_full is not None
+            and self.capacity is not None
+            and hooks.force_queue_full(self._owner)
+        ):
+            # Fault injection: behave exactly as a bounded put that found no
+            # space within its budget, so every rejection policy is reachable
+            # without actually wedging the queue.
+            return False
         with self._not_full:
             if self.capacity is not None:
                 if block:
@@ -261,9 +282,13 @@ class VirtualTarget(abc.ABC):
         self._queue = _TargetQueue(name, queue_capacity)
         self._members: set[threading.Thread] = set()
         self._members_lock = threading.Lock()
-        # Queue-depth sampling state: (trace-session generation, transitions
-        # since that generation started).  See QUEUE_DEPTH_SAMPLE_STRIDE.
-        self._depth_tick = (-1, 0)
+        # Queue-depth sampling state: (trace-session generation, atomic
+        # transition counter for that generation, stride in force for that
+        # generation).  The counter is an ``itertools.count`` so concurrent
+        # poster/worker threads never lose a tick to a read-modify-write
+        # race; the stride is re-read from the environment whenever the
+        # generation changes.  See ``_trace_depth``.
+        self._depth_tick: tuple[int, Any, int] = (-1, None, QUEUE_DEPTH_SAMPLE_STRIDE)
         self._shutdown = threading.Event()
         self._stats_lock = threading.Lock()
         self._stats: dict[str, int] = {
@@ -335,6 +360,7 @@ class VirtualTarget(abc.ABC):
         cancelled = 0
         dropped = 0
         reason = TargetShutdownError(self.name)
+        session = _obs.session()
         for item in self._queue.drain_items():
             if item is _SHUTDOWN or item is _WAKEUP:
                 self._queue.put_internal(item)
@@ -344,6 +370,15 @@ class VirtualTarget(abc.ABC):
                     self._bump("cancelled_on_shutdown")
             else:
                 dropped += 1
+                if session.enabled:
+                    # Dropped callables have no handle to carry the news, so
+                    # the trace must: their ENQUEUE would otherwise dangle
+                    # forever (every enqueue resolves as dequeue or cancel).
+                    region, label = _item_identity(item)
+                    session.emit(
+                        EventKind.CANCEL, target=self.name, region=region,
+                        name=label, arg=type(reason).__name__,
+                    )
         if dropped:
             _logger.warning(
                 "shutdown of target %r dropped %d queued callable(s)", self.name, dropped
@@ -369,6 +404,9 @@ class VirtualTarget(abc.ABC):
         """
         if self._shutdown.is_set():
             raise TargetShutdownError(self.name)
+        hooks = _inj.hooks
+        if hooks is not None and hooks.jitter is not None:
+            hooks.jitter("post", self.name)
         # Timestamp *before* the (possibly blocking) put: the consumer may
         # dequeue the instant the item lands, and its DEQUEUE stamp must sort
         # after this ENQUEUE stamp on the shared perf_counter_ns clock.
@@ -378,16 +416,20 @@ class VirtualTarget(abc.ABC):
         if policy == "block":
             if not self._queue.put(item, block=True, timeout=timeout):
                 self._bump("rejected")
-                self._trace_reject(item, session)
+                self._trace_reject(item, session, policy)
                 raise QueueFullError(self.name, self._queue.capacity)
         elif policy == "reject":
             if not self._queue.put(item, block=False):
                 self._bump("rejected")
-                self._trace_reject(item, session)
+                self._trace_reject(item, session, policy)
                 raise QueueFullError(self.name, self._queue.capacity)
         else:  # caller_runs
             if not self._queue.put(item, block=False):
                 self._bump("caller_runs")
+                # The REJECT marker (arg: policy) is what lets a trace
+                # verifier tell this legitimate queue-less execution apart
+                # from a lost dequeue.
+                self._trace_reject(item, session, policy)
                 self._dispatch(item, dequeued=False)
                 return
         self._bump("posted")
@@ -405,8 +447,25 @@ class VirtualTarget(abc.ABC):
 
     @property
     def pending(self) -> int:
-        """Approximate number of queued items (sentinels included)."""
+        """Approximate number of queued items (sentinels included).
+
+        Prefer :meth:`work_count` for diagnostics: control sentinels
+        (shutdown markers re-queued by ``drain``/``process_one``, barrier
+        wakeups) ride this figure, so an idle target can legitimately show
+        ``pending > 0`` while owing no work to anyone.
+        """
         return self._queue.qsize()
+
+    def work_count(self) -> int:
+        """Queued *work* items, control sentinels excluded.
+
+        This is the honest backlog figure: zero means the target owes
+        nothing, even if re-posted shutdown sentinels or barrier wakeups are
+        still physically in the queue.  Adapters that keep their backlog
+        elsewhere (e.g. the asyncio in-flight shadow set) are covered because
+        this delegates to the same :meth:`_depth` their depth samples use.
+        """
+        return self._depth()
 
     @property
     def queue_capacity(self) -> int | None:
@@ -494,24 +553,40 @@ class VirtualTarget(abc.ABC):
     def _trace_depth(self, session: "_obs.TraceSession") -> None:
         """Emit a sampled ``QUEUE_DEPTH`` event (caller checked enabled).
 
-        Samples every :data:`QUEUE_DEPTH_SAMPLE_STRIDE`-th enqueue/dequeue
-        per target and recording window; the first transition of a window
-        always emits so short traces still carry depth data.
+        Samples every stride-th enqueue/dequeue per target and recording
+        window; the first transition of a window always emits so short traces
+        still carry depth data.  The stride is re-read from
+        ``REPRO_TRACE_DEPTH_STRIDE`` at the start of each window (so setting
+        it after import works), and the transition counter is an
+        ``itertools.count`` whose ``next()`` is atomic under the GIL — racing
+        poster/worker threads each draw a distinct tick instead of losing
+        increments to a read-modify-write race.
         """
         gen = session.generation
-        g, tick = self._depth_tick
+        g, counter, stride = self._depth_tick
         if g != gen:
-            tick = 0
-        self._depth_tick = (gen, tick + 1)
-        if tick % QUEUE_DEPTH_SAMPLE_STRIDE == 0:
+            counter = itertools.count()
+            stride = _depth_stride_from_env()
+            # Two threads racing a window change may both publish; the loser
+            # at worst re-emits one window-opening sample, never skews ticks.
+            self._depth_tick = (gen, counter, stride)
+        if next(counter) % stride == 0:
             session.emit(EventKind.QUEUE_DEPTH, target=self.name, arg=self._depth())
 
-    def _trace_reject(self, item: Any, session: "_obs.TraceSession") -> None:
+    def _trace_reject(
+        self, item: Any, session: "_obs.TraceSession", policy: str | None = None
+    ) -> None:
         if session.enabled:
             region, label = _item_identity(item)
-            session.emit(EventKind.REJECT, target=self.name, region=region, name=label)
+            session.emit(
+                EventKind.REJECT, target=self.name, region=region, name=label,
+                arg=policy,
+            )
 
     def _dispatch(self, item: Any, *, dequeued: bool = True) -> None:
+        hooks = _inj.hooks
+        if hooks is not None and hooks.jitter is not None:
+            hooks.jitter("dispatch", self.name)
         session = _obs.session()
         if session.enabled:
             region, label = _item_identity(item)
@@ -530,9 +605,17 @@ class VirtualTarget(abc.ABC):
             )
             outcome = "completed"
             try:
-                self._run_item(item)
-                if isinstance(item, TargetRegion) and item.exception is not None:
-                    outcome = "failed"
+                if not self._run_item(item):
+                    outcome = "failed"  # plain callable raised
+                elif isinstance(item, TargetRegion):
+                    # The region's terminal state is the ground truth: a body
+                    # that raised is "failed", and a cancel that won the race
+                    # against the corpse check above (run() then no-opped) is
+                    # "cancelled" — never a fabricated "completed".
+                    if item.state is RegionState.CANCELLED:
+                        outcome = "cancelled"
+                    elif item.exception is not None:
+                        outcome = "failed"
             except Exception:  # pragma: no cover - _run_item never raises
                 outcome = "failed"
                 raise
@@ -544,17 +627,26 @@ class VirtualTarget(abc.ABC):
             return
         self._run_item(item)
 
-    def _run_item(self, item: Any) -> None:
+    def _run_item(self, item: Any) -> bool:
+        """Run one dequeued item; True unless a plain callable raised.
+
+        Regions always return True here — they capture their own exceptions,
+        and ``_dispatch`` reads the truthful outcome off the region state.
+        The bool exists for plain callables, whose exception is swallowed by
+        design (a failing callable must not kill the dispatch loop — same
+        policy as AWT's EDT) and would otherwise leave the trace claiming
+        the execution completed.
+        """
         if isinstance(item, TargetRegion):
             item.run()  # regions capture their own exceptions
-            return
+            return True
         try:
             item()
+            return True
         except Exception:  # noqa: BLE001
-            # A failing plain callable must not kill the dispatch loop —
-            # same policy as AWT's EDT. Regions report via their handle;
-            # plain callables get logged.
+            # Regions report via their handle; plain callables get logged.
             _logger.exception("unhandled exception in %r posted to %s", item, self.name)
+            return False
 
     def pump_until(
         self,
@@ -615,7 +707,9 @@ class VirtualTarget(abc.ABC):
         return (
             f"target {self.name!r} ({type(self).__name__}) kind={self.kind} "
             f"alive={self.alive} pool={self.pool_size} "
-            f"restarts={self.restart_count} queued={self.pending} capacity={cap} "
+            # work_count, not pending: re-posted control sentinels would
+            # otherwise show an idle target as queued=1 forever.
+            f"restarts={self.restart_count} queued={self.work_count()} capacity={cap} "
             f"high_water={stats['high_water']} posted={stats['posted']} "
             f"rejected={stats['rejected']} caller_runs={stats['caller_runs']} "
             f"cancelled_on_shutdown={stats['cancelled_on_shutdown']} "
@@ -749,6 +843,11 @@ class EdtTarget(VirtualTarget):
 
     kind = "edt"
 
+    #: How long ``shutdown(wait=True)`` waits for the loop to acknowledge the
+    #: shutdown sentinel before giving up with a diagnostic (class-level so
+    #: tests can shrink it without touching the shutdown signature).
+    _shutdown_ack_timeout = 5.0
+
     @property
     def pool_size(self) -> int:
         return 1
@@ -848,4 +947,13 @@ class EdtTarget(VirtualTarget):
             if not self._loop_started.is_set():
                 # The loop never ran; nothing will ever acknowledge.
                 return
-            self._stopped.wait(timeout=5.0)
+            if not self._stopped.wait(timeout=self._shutdown_ack_timeout):
+                # A wedged EDT (handler stuck in a syscall, deadlocked on a
+                # lock, ...) must not "shut down" silently: the sentinel was
+                # posted but never consumed, so say what we know and let the
+                # caller decide — the thread is theirs, we cannot kill it.
+                _logger.warning(
+                    "EDT target %r did not acknowledge shutdown within %.1fs; "
+                    "its dispatch loop appears wedged: %s",
+                    self.name, self._shutdown_ack_timeout, self.describe(),
+                )

@@ -50,9 +50,9 @@ class EventKind(enum.IntEnum):
     ENQUEUE = 2         # E.post(B): region/callable appended to a target queue
     DEQUEUE = 3         # an executor thread pulled the item off the queue
     EXEC_BEGIN = 4      # body started executing
-    EXEC_END = 5        # body finished (arg: "completed" | "failed")
+    EXEC_END = 5        # body finished (arg: "completed" | "failed" | "cancelled")
     CANCEL = 6          # region withdrawn (shutdown / deadline / explicit)
-    REJECT = 7          # bounded queue refused the post (policy: reject/block)
+    REJECT = 7          # bounded queue refused the post (arg: rejection policy)
     INLINE_ELIDE = 8    # thread-context awareness ran the block inline
     BARRIER_ENTER = 9   # await logical barrier started pumping
     PUMP_STEAL = 10     # the barrier executed another queued item

@@ -1,0 +1,22 @@
+"""Isolation for the check suite: the trace session is process-global and
+the stress harness starts/stops it, so every test gets a clean session and
+leaves none of the injection hooks armed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import injection
+
+
+@pytest.fixture(autouse=True)
+def _clean_session():
+    obs.disable()
+    obs.session().clear()
+    injection.uninstall()
+    yield
+    obs.disable()
+    obs.session().clear()
+    obs.session().buffer_size = obs.DEFAULT_BUFFER_SIZE
+    injection.uninstall()

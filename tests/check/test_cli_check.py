@@ -1,0 +1,50 @@
+"""Satellite: ``python -m repro check --seed N`` replays byte-for-byte.
+
+The event stream of a stress run is nondeterministic (real threads), but the
+*report* is a pure function of the seed: violations carry only
+harness-assigned labels, so the same seed must print the same bytes."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+REPLAY_ARGS = [
+    "check",
+    "--seed", "7",
+    "--iterations", "1",
+    "--ops", "40",
+    "--inject", "lost-dequeue",
+]
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+def test_injected_violation_replays_byte_for_byte(capsys):
+    code_a, out_a = run_cli(capsys, REPLAY_ARGS)
+    code_b, out_b = run_cli(capsys, REPLAY_ARGS)
+    assert code_a == code_b == 1
+    assert out_a == out_b
+    assert "[enqueue-unresolved]" in out_a
+    assert "replay with --seed 7" in out_a
+
+
+def test_clean_run_exits_zero_and_reports_ok(capsys):
+    code, out = run_cli(
+        capsys, ["check", "--seed", "1234", "--iterations", "1", "--ops", "40"]
+    )
+    assert code == 0
+    assert "OK: 0 violations" in out
+    assert "seed=1234" in out
+
+
+def test_bare_inject_flag_defaults_to_lying_exec_outcome(capsys):
+    code, out = run_cli(
+        capsys,
+        ["check", "--seed", "3", "--iterations", "1", "--ops", "40", "--inject"],
+    )
+    assert code == 1
+    assert "[outcome-lie]" in out
+    assert "inject=lying-exec-outcome" in out

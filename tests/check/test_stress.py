@@ -1,0 +1,64 @@
+"""The stress harness end to end: clean runs verify clean, every fault
+tamper is detected, and the fault hooks behave as specified."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.check import (
+    PROFILES,
+    TAMPERS,
+    ForceQueueFull,
+    JitterHook,
+    render_report,
+    run_check,
+    run_iteration,
+)
+
+
+def test_smoke_iteration_verifies_clean():
+    outcome = run_iteration(PROFILES["smoke"], seed=5, index=0, ops=50)
+    assert outcome.ok, [v.render() for v in outcome.violations]
+    assert outcome.label == "0"
+
+
+def test_run_check_report_is_deterministic_and_clean():
+    first = run_check(profile="smoke", seed=9, iterations=1, ops=40)
+    second = run_check(profile="smoke", seed=9, iterations=1, ops=40)
+    assert first.ok and second.ok
+    assert render_report(first) == render_report(second)
+    assert "OK: 0 violations" in render_report(first)
+
+
+@pytest.mark.parametrize("mode,expected", [
+    ("lying-exec-outcome", "outcome-lie"),
+    ("lost-dequeue", "enqueue-unresolved"),
+    ("negative-depth", "negative-depth"),
+])
+def test_injected_faults_are_detected(mode, expected):
+    result = run_check(profile="smoke", seed=7, iterations=1, ops=40, inject=mode)
+    assert not result.ok
+    assert expected in {v.invariant for v in result.violations}
+    # Only the tampered iteration fails; the tamper must not bleed.
+    assert result.phases[0].violations
+
+
+def test_tamper_registry_matches_cli_choices():
+    assert sorted(TAMPERS) == ["lost-dequeue", "lying-exec-outcome", "negative-depth"]
+
+
+def test_force_queue_full_only_fires_when_armed_and_scoped():
+    hook = ForceQueueFull(random.Random(1), ("w0",), probability=1.0)
+    assert hook("w0") is False  # not armed
+    hook.active = True
+    assert hook("w0") is True
+    assert hook("other") is False  # out of scope
+    assert hook.hits == 1
+
+
+def test_jitter_hook_is_bounded_and_callable():
+    hook = JitterHook(random.Random(2), probability=1.0, max_sleep_s=0.0)
+    for _ in range(50):
+        hook("post", "w0")  # must never raise, sleep bounded by max_sleep_s

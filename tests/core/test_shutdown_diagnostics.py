@@ -1,0 +1,65 @@
+"""Shutdown observability — regression tests for two bugs:
+
+1. ``EdtTarget.shutdown(wait=True)`` on a wedged loop (handler stuck in a
+   blocking call) returned silently after the ack timeout; it now logs a
+   warning carrying ``describe()`` so the stall is diagnosable.
+2. ``describe()`` reported raw queue size, so an idle target whose queue
+   still held a re-posted control sentinel showed ``queued=1`` forever; it
+   now reports the sentinel-free :meth:`work_count`.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+from repro.core.targets import EdtTarget
+
+
+def test_wedged_edt_shutdown_warns_with_diagnostics(caplog):
+    t = EdtTarget("wedge")
+    t._shutdown_ack_timeout = 0.2  # instance attr shadows the class default
+    t.start_in_thread()
+    release = threading.Event()
+    entered = threading.Event()
+
+    def stuck():
+        entered.set()
+        release.wait(5)
+
+    t.post(stuck)
+    assert entered.wait(2), "EDT never picked up the blocking handler"
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.core.targets"):
+            t.shutdown(wait=True)  # must return after the ack timeout
+        assert "did not acknowledge" in caplog.text
+        assert "'wedge'" in caplog.text
+        # The warning carries describe(): state a human can act on.
+        assert "queued=" in caplog.text
+        assert "alive=" in caplog.text
+    finally:
+        release.set()
+
+
+def test_unstarted_edt_shutdown_wait_returns_immediately():
+    t = EdtTarget("never-ran")
+    t.register_current_thread()
+    t.shutdown(wait=True)  # loop never driven: must not stall on the ack
+    t._exit_member()
+
+
+def test_describe_reports_sentinel_free_backlog():
+    t = EdtTarget("sentinels")
+    t.register_current_thread()
+    try:
+        t.post(lambda: None)
+        t.post(lambda: None)
+        t.shutdown(wait=True)  # wait=True keeps the backlog, queues _SHUTDOWN
+        assert t.drain() == 2  # runs the work, re-posts the sentinel it met
+        # The sentinel is still physically queued...
+        assert t.pending == 1
+        # ...but the honest backlog figure and the diagnostic both say idle.
+        assert t.work_count() == 0
+        assert "queued=0" in t.describe()
+    finally:
+        t._exit_member()

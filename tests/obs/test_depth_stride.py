@@ -1,0 +1,71 @@
+"""QUEUE_DEPTH sampling stride — regression tests for two bugs:
+
+1. ``REPRO_TRACE_DEPTH_STRIDE`` was read once at import, so setting it after
+   ``import repro`` was silently ignored; it is now re-read at the start of
+   every recording window.
+2. The per-target transition counter was a bare ``self._tick += 1``, so
+   racing poster/worker threads could lose increments and skew which
+   transitions got sampled; it is now an ``itertools.count`` drawn atomically.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import obs
+from repro.core.targets import EdtTarget
+from repro.obs.events import EventKind
+
+
+def depth_samples(session, target):
+    return [
+        e for e in session.events()
+        if e.kind is EventKind.QUEUE_DEPTH and e.target == target
+    ]
+
+
+def pump(target, n):
+    for _ in range(n):
+        target.post(lambda: None)
+    target.drain()
+
+
+def test_stride_is_reread_per_recording_window(monkeypatch):
+    t = EdtTarget("stride-edt")
+    t.register_current_thread()
+    try:
+        monkeypatch.setenv("REPRO_TRACE_DEPTH_STRIDE", "1")
+        session = obs.enable()
+        pump(t, 6)  # 6 enqueues + 6 dequeues, stride 1 → all transitions sample
+        assert len(depth_samples(session, "stride-edt")) == 12
+        obs.disable()
+
+        # Same process, same target object: the new stride must take effect
+        # on the next window without re-importing anything.
+        monkeypatch.setenv("REPRO_TRACE_DEPTH_STRIDE", "4")
+        session = obs.enable()
+        pump(t, 6)  # ticks 0..11, every 4th → 0, 4, 8
+        assert len(depth_samples(session, "stride-edt")) == 3
+    finally:
+        t._exit_member()
+
+
+def test_depth_tick_is_race_tolerant(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DEPTH_STRIDE", "4")
+    session = obs.enable()
+    t = EdtTarget("race-edt")  # never started: posts only enqueue
+    t.post(lambda: None)  # prime tick 0 single-threaded
+
+    def blast():
+        for _ in range(50):
+            t.post(lambda: None)
+
+    threads = [threading.Thread(target=blast) for _ in range(4)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    # 201 enqueue ticks total (0..200); with an atomic counter exactly every
+    # 4th tick samples: 0, 4, ..., 200 → 51.  A lost-update counter would
+    # repeat tick values and emit a different (plurality: larger) number.
+    assert len(depth_samples(session, "race-edt")) == 51

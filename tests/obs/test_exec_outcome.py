@@ -1,0 +1,71 @@
+"""EXEC_END must record what actually happened — regression tests for the
+bug where a plain callable that raised was still traced as ``completed``
+(the dispatch loop swallows the exception by design, but the trace must
+not inherit the lie)."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.core.region import TargetRegion
+from repro.core.targets import EdtTarget
+from repro.obs.events import EventKind
+
+
+@pytest.fixture()
+def edt():
+    t = EdtTarget("outcome-edt")
+    t.register_current_thread()
+    yield t
+    t._exit_member()
+
+
+def exec_ends(session, name):
+    return [
+        e for e in session.events()
+        if e.kind is EventKind.EXEC_END and e.name == name
+    ]
+
+
+def test_raising_callable_traced_as_failed(tracing, edt, caplog):
+    def boom():
+        raise RuntimeError("deliberate")
+
+    boom._trace_id = -7
+    boom._trace_name = "boom"
+    edt.post(boom)
+    with caplog.at_level(logging.CRITICAL, logger="repro.core.targets"):
+        assert edt.drain() == 1
+    ends = exec_ends(tracing, "boom")
+    assert [e.arg for e in ends] == ["failed"]
+    assert ends[0].region == -7
+
+
+def test_successful_callable_traced_as_completed(tracing, edt):
+    ok = lambda: None  # noqa: E731
+    ok._trace_id = -8
+    ok._trace_name = "ok"
+    edt.post(ok)
+    edt.drain()
+    assert [e.arg for e in exec_ends(tracing, "ok")] == ["completed"]
+
+
+def test_failing_region_traced_as_failed(tracing, edt):
+    region = TargetRegion(lambda: 1 / 0, name="div")
+    edt.post(region)
+    edt.drain()
+    assert [e.arg for e in exec_ends(tracing, "div")] == ["failed"]
+    assert region.exception is not None
+
+
+def test_cancelled_corpse_gets_no_exec_span(tracing, edt):
+    region = TargetRegion(lambda: None, name="corpse")
+    edt.post(region)
+    region.cancel()
+    edt.drain()
+    kinds = [e.kind for e in tracing.events() if e.name == "corpse"]
+    assert EventKind.DEQUEUE in kinds
+    assert EventKind.EXEC_BEGIN not in kinds
+    assert EventKind.EXEC_END not in kinds
