@@ -26,6 +26,7 @@ import asyncio
 import threading
 from typing import Any, Callable
 
+from ..core import injection as _inj
 from ..core.errors import QueueFullError, RuntimeStateError, TargetShutdownError
 from ..core.region import TargetRegion
 from ..core.runtime import PjRuntime
@@ -87,6 +88,12 @@ class AsyncioEdtTarget(VirtualTarget):
             raise TargetShutdownError(self.name)
         if self.loop.is_closed():
             raise TargetShutdownError(self.name)
+        # Same seam point as VirtualTarget.post: this post path bypasses the
+        # base queue entirely, so without its own crossing the stress and
+        # exploration harnesses would silently under-test this backend.
+        hooks = _inj.hooks
+        if hooks is not None:
+            hooks.fire("post", self.name)
         if isinstance(item, TargetRegion):
             if not self._admit(item, timeout):
                 return  # caller_runs executed it synchronously
@@ -106,6 +113,26 @@ class AsyncioEdtTarget(VirtualTarget):
         Returns False when ``caller_runs`` already executed the region in the
         posting thread (nothing left to hand to the loop).
         """
+        hooks = _inj.hooks
+        if (
+            hooks is not None
+            and hooks.force_queue_full is not None
+            and self.queue_capacity is not None
+            and hooks.force_queue_full(self.name)
+        ):
+            # Fault injection: behave exactly as a bounded admission that
+            # found no space within its budget (mirrors _TargetQueue.put —
+            # and, like it, an unbounded target never consults the hook).
+            if self.rejection_policy == "caller_runs":
+                if region.done:
+                    return False  # cancelled before the handoff: a corpse
+                self._bump("caller_runs")
+                self._trace_reject(region, _obs.session(), "caller_runs")
+                self._dispatch(region, dequeued=False)
+                return False
+            self._bump("rejected")
+            self._trace_reject(region, _obs.session(), self.rejection_policy)
+            raise QueueFullError(self.name, self.queue_capacity)
         with self._inflight_cond:
             cap = self.queue_capacity
             if cap is not None and len(self._inflight) >= cap:
@@ -114,8 +141,7 @@ class AsyncioEdtTarget(VirtualTarget):
                     self._trace_reject(region, _obs.session(), "reject")
                     raise QueueFullError(self.name, cap)
                 if self.rejection_policy == "caller_runs":
-                    self._bump("caller_runs")
-                    # dispatched below, outside the lock
+                    pass  # dispatched below, outside the lock
                 else:  # block
                     ok = self._inflight_cond.wait_for(
                         lambda: self._shutdown.is_set() or len(self._inflight) < cap,
@@ -133,6 +159,9 @@ class AsyncioEdtTarget(VirtualTarget):
                 return True
         # caller_runs: the REJECT marker (arg: policy) tells trace verifiers
         # this execution legitimately bypassed the queue.
+        if region.done:
+            return False  # cancelled while the admission verdict was made
+        self._bump("caller_runs")
         self._trace_reject(region, _obs.session(), "caller_runs")
         self._dispatch(region, dequeued=False)
         return False

@@ -54,6 +54,7 @@ __all__ = [
     "PROFILES",
     "TAMPERS",
     "StressBodyError",
+    "region_body",
     "run_check",
     "run_iteration",
     "run_dist_phase",
@@ -99,7 +100,15 @@ PROFILES: dict[str, StressProfile] = {
 # --------------------------------------------------------------------- bodies
 
 
-def _region_body(duration: float, fail: bool, label: str) -> Callable[[], str]:
+def region_body(duration: float, fail: bool, label: str) -> Callable[[], str]:
+    """A deterministic region body: optional sleep, optional failure.
+
+    The shared workload vocabulary of both harnesses: the stress iterations
+    here and the exploration models in :mod:`repro.explore.workloads` build
+    their regions from this, so a violation report names the same labels
+    whichever harness found it.
+    """
+
     def body() -> str:
         if duration:
             time.sleep(duration)
@@ -261,21 +270,21 @@ def run_iteration(
                 next_tid -= 1
                 rt.get_target("w0").post(cb)
             elif x < 0.20:
-                reg = TargetRegion(_region_body(duration, fail, label), name=label)
+                reg = TargetRegion(region_body(duration, fail, label), name=label)
                 handles.append((label, reg))
                 try:
                     rt.invoke_target_block(tname, reg, "nowait")
                 except PyjamaError as exc:
                     reg.request_cancel(exc)
             elif x < 0.35:
-                reg = TargetRegion(_region_body(duration, fail, label), name=label)
+                reg = TargetRegion(region_body(duration, fail, label), name=label)
                 handles.append((label, reg))
                 try:
                     rt.invoke_target_block(tname, reg, "default")
                 except (PyjamaError, TimeoutError) as exc:
                     reg.request_cancel(exc)
             elif x < 0.50:
-                reg = TargetRegion(_region_body(duration, fail, label), name=label)
+                reg = TargetRegion(region_body(duration, fail, label), name=label)
                 handles.append((label, reg))
                 try:
                     rt.invoke_target_block(tname, reg, "name_as", tag=r.choice(tags))
@@ -284,7 +293,7 @@ def run_iteration(
                     # the handle so wait_tag sees a terminal region.
                     reg.request_cancel(exc)
             elif x < 0.60:
-                reg = TargetRegion(_region_body(duration, fail, label), name=label)
+                reg = TargetRegion(region_body(duration, fail, label), name=label)
                 handles.append((label, reg))
                 try:
                     rt.invoke_target_block(tname, reg, "await")
@@ -304,7 +313,7 @@ def run_iteration(
                 def outer(inner_name=inner_name, inner_label=inner_label,
                           inner_duration=inner_duration) -> None:
                     reg = TargetRegion(
-                        _region_body(inner_duration, False, inner_label),
+                        region_body(inner_duration, False, inner_label),
                         name=inner_label,
                     )
                     inner.append((inner_label, reg))

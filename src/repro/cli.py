@@ -322,6 +322,57 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Systematic interleaving exploration (docs/CHECKING.md, Exploration).
+
+    ``python -m repro explore --workload post-2x1`` enumerates every
+    interleaving of a workload model; a violating run writes its exact
+    schedule to a file that ``--replay FILE`` re-executes step for step.
+    Exit codes: 0 clean, 1 violation found, 2 replay diverged/mismatched.
+    """
+    from . import explore as x
+
+    if args.list:
+        width = max(len(n) for n in x.WORKLOADS)
+        for name in sorted(x.WORKLOADS):
+            print(f"{name:<{width}}  {x.WORKLOADS[name].description}")
+        return 0
+
+    if args.replay is not None:
+        try:
+            result = x.replay(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"cannot replay {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        print(x.render_replay_report(result, args.replay))
+        return 0 if result.identical else 2
+
+    bound = None if args.preemptions < 0 else args.preemptions
+    try:
+        result = x.explore(
+            args.workload,
+            preemption_bound=bound,
+            max_schedules=args.max_schedules,
+            inject=args.inject,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    schedule_path = None
+    if result.violating is not None:
+        schedule_path = x.save_schedule(args.out, x.ScheduleFile(
+            workload=result.workload,
+            steps=result.violating.choices,
+            inject=result.inject,
+            violations=[v.render() for v in result.violating.violations],
+            meta={"preemption_bound": result.preemption_bound,
+                  "seed": result.seed},
+        ))
+    print(x.render_explore_report(result, schedule_path))
+    return 0 if result.ok else 1
+
+
 def cmd_kernels(args: argparse.Namespace) -> int:
     print(f"{'kernel':>12} | {'size':>8} | {'valid':>5} | {'t (ms)':>8} | paper | description")
     for name in sorted(KERNELS):
@@ -493,6 +544,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="force the process-target phase on/off "
                         "(default: per profile)")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "explore",
+        help="systematic interleaving exploration (docs/CHECKING.md)",
+    )
+    p.add_argument("--workload", default="post-2x1",
+                   help="workload model to explore (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list workload models and exit")
+    p.add_argument("--max-schedules", type=int, default=2000,
+                   help="run budget; exploration reports whether the "
+                        "schedule tree was drained within it")
+    p.add_argument("--preemptions", type=int, default=-1,
+                   help="preemption bound per schedule (CHESS-style); "
+                        "-1 = unbounded (exhaustive)")
+    p.add_argument("--inject", nargs="?", const="lying-exec-outcome",
+                   choices=["lying-exec-outcome", "lost-dequeue",
+                            "negative-depth"], default=None,
+                   help="tamper with each run's recorded events to prove "
+                        "the explorer catches a lying trace (forces exit 1)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="randomize continuation tie-breaks (schedule "
+                        "diversity when the tree exceeds the budget); "
+                        "deterministic per seed")
+    p.add_argument("--out", default="explore-artifacts",
+                   help="directory for violating schedule files")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="re-execute a saved schedule file and compare "
+                        "its violations against the recording")
+    p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser(
         "compile", help="source-to-source compile a file's #omp pragmas"

@@ -405,8 +405,8 @@ class VirtualTarget(abc.ABC):
         if self._shutdown.is_set():
             raise TargetShutdownError(self.name)
         hooks = _inj.hooks
-        if hooks is not None and hooks.jitter is not None:
-            hooks.jitter("post", self.name)
+        if hooks is not None:
+            hooks.fire("post", self.name)
         # Timestamp *before* the (possibly blocking) put: the consumer may
         # dequeue the instant the item lands, and its DEQUEUE stamp must sort
         # after this ENQUEUE stamp on the shared perf_counter_ns clock.
@@ -425,6 +425,14 @@ class VirtualTarget(abc.ABC):
                 raise QueueFullError(self.name, self._queue.capacity)
         else:  # caller_runs
             if not self._queue.put(item, block=False):
+                if isinstance(item, TargetRegion) and item.done:
+                    # A cancel (or shutdown) won the race while this poster
+                    # was between the seam point and the full-queue verdict:
+                    # the region is already terminal.  Emitting REJECT and
+                    # bumping caller_runs here would claim a queue bypass
+                    # for work that never ran — drop the corpse silently,
+                    # exactly as a dequeue of a withdrawn item does.
+                    return
                 self._bump("caller_runs")
                 # The REJECT marker (arg: policy) is what lets a trace
                 # verifier tell this legitimate queue-less execution apart
@@ -585,21 +593,26 @@ class VirtualTarget(abc.ABC):
 
     def _dispatch(self, item: Any, *, dequeued: bool = True) -> None:
         hooks = _inj.hooks
-        if hooks is not None and hooks.jitter is not None:
-            hooks.jitter("dispatch", self.name)
+        if hooks is not None:
+            hooks.fire("dispatch", self.name)
         session = _obs.session()
-        if session.enabled:
+        enabled = session.enabled
+        if enabled and dequeued:
             region, label = _item_identity(item)
-            if dequeued:
-                session.emit(
-                    EventKind.DEQUEUE, target=self.name, region=region, name=label
-                )
-                self._trace_depth(session)
-            if isinstance(item, TargetRegion) and item.done:
-                # Withdrawn (cancelled) while queued: the dequeue discards a
-                # corpse, nothing executes — an EXEC span here would lie.
-                self._run_item(item)
-                return
+            session.emit(
+                EventKind.DEQUEUE, target=self.name, region=region, name=label
+            )
+            self._trace_depth(session)
+        if isinstance(item, TargetRegion) and item.done:
+            # Withdrawn (cancelled) while queued, or cancelled mid
+            # caller_runs handoff: discard the corpse without touching it.
+            # An EXEC span here would lie, so none is emitted — and the
+            # check must not depend on tracing being on: with the session
+            # off, skipping it used to leave corpse safety resting on
+            # ``run()``'s internal state guard alone.
+            return
+        if enabled:
+            region, label = _item_identity(item)
             session.emit(
                 EventKind.EXEC_BEGIN, target=self.name, region=region, name=label
             )

@@ -1,0 +1,142 @@
+"""Schedule files: an interleaving as a replayable artifact.
+
+A schedule is the complete sequence of ``(thread, point, target)`` choices
+the driver granted during one run.  When exploration finds an invariant
+violation, the schedule — not a seed — is what gets written to disk: it
+pins the exact interleaving, survives unrelated workload changes that would
+re-shuffle a seeded sampler, and diffs meaningfully in a bug report.
+
+Format (``repro.explore/v1``, JSON)::
+
+    {
+      "format": "repro.explore/v1",
+      "workload": "caller-runs-cancel",
+      "inject": null,
+      "steps": [
+        {"thread": "post-a", "point": "spawn", "target": null},
+        {"thread": "post-a", "point": "post",  "target": "t0"},
+        ...
+      ],
+      "violations": ["[exec-after-cancel] ..."],
+      "meta": {"preemption_bound": null, "seed": null}
+    }
+
+``violations`` records what the run produced when the file was written;
+``python -m repro explore --replay FILE`` re-executes the steps and
+compares — identical output proves the schedule still reproduces the bug,
+a divergence report proves the underlying code changed.  Filenames embed a
+digest of (workload, inject, steps) so distinct interleavings never
+overwrite each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SCHEDULE_FORMAT",
+    "ScheduleStep",
+    "ScheduleFile",
+    "schedule_digest",
+    "save_schedule",
+    "load_schedule",
+]
+
+SCHEDULE_FORMAT = "repro.explore/v1"
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One scheduling decision: which thread crossed which seam point."""
+
+    thread: str
+    point: str
+    target: str | None = None
+
+    def describe(self) -> str:
+        loc = f"{self.point}({self.target})" if self.target else self.point
+        return f"{self.thread}@{loc}"
+
+
+@dataclass
+class ScheduleFile:
+    """An on-disk schedule plus the violations it produced when recorded."""
+
+    workload: str
+    steps: list[ScheduleStep]
+    inject: str | None = None
+    violations: list[str] | None = None
+    meta: dict | None = None
+
+    def digest(self) -> str:
+        return schedule_digest(self.workload, self.steps, self.inject)
+
+
+def _canonical(workload: str, steps: list[ScheduleStep], inject: str | None) -> str:
+    return json.dumps(
+        {
+            "workload": workload,
+            "inject": inject,
+            "steps": [[s.thread, s.point, s.target] for s in steps],
+        },
+        sort_keys=True, separators=(",", ":"),
+    )
+
+
+def schedule_digest(
+    workload: str, steps: list[ScheduleStep], inject: str | None = None
+) -> str:
+    """Stable 12-hex-digit identity of one interleaving."""
+    return hashlib.sha256(
+        _canonical(workload, steps, inject).encode("utf-8")
+    ).hexdigest()[:12]
+
+
+def save_schedule(directory: str | Path, schedule: ScheduleFile) -> Path:
+    """Write *schedule* under *directory*; returns the path written.
+
+    The filename is derived from the workload and the schedule digest, so
+    repeated runs that find the same interleaving overwrite one file and
+    distinct interleavings coexist.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"explore-{schedule.workload}-{schedule.digest()}.json"
+    document = {
+        "format": SCHEDULE_FORMAT,
+        "workload": schedule.workload,
+        "inject": schedule.inject,
+        "steps": [
+            {"thread": s.thread, "point": s.point, "target": s.target}
+            for s in schedule.steps
+        ],
+        "violations": list(schedule.violations or []),
+        "meta": dict(schedule.meta or {}),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_schedule(path: str | Path) -> ScheduleFile:
+    """Parse a schedule file; raises ``ValueError`` on a foreign format."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("format") != SCHEDULE_FORMAT:
+        raise ValueError(
+            f"{path}: not a {SCHEDULE_FORMAT} schedule file "
+            f"(format={raw.get('format') if isinstance(raw, dict) else None!r})"
+        )
+    steps = [
+        ScheduleStep(s["thread"], s["point"], s.get("target"))
+        for s in raw.get("steps", [])
+    ]
+    return ScheduleFile(
+        workload=raw["workload"],
+        steps=steps,
+        inject=raw.get("inject"),
+        violations=list(raw.get("violations", [])),
+        meta=dict(raw.get("meta", {})),
+    )

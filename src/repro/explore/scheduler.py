@@ -1,0 +1,358 @@
+"""Deterministic cooperative scheduler: exactly one runnable thread at a time.
+
+The stress harness (:mod:`repro.check`) *samples* interleavings by sleeping
+random amounts at the injection seam points; this module *serializes* them.
+Every workload thread is an enrolled **actor**; whenever it crosses a seam
+point (via :meth:`DeterministicScheduler.decision`, installed as the
+``InjectionHooks.decision`` hook) or an explicit :meth:`checkpoint`, it
+parks until the single driver thread grants it the turn.  Between grants no
+actor runs, so the interleaving of seam crossings is exactly the sequence of
+grants — an explicit, replayable schedule instead of a probability.
+
+This is the CHESS model (Musuvathi et al.): real runtime code on real
+threads, but with scheduling authority confiscated.  The driver's loop is::
+
+    enabled = sched.wait_quiescent()   # everyone parked; who could run?
+    sched.grant(choice.label)          # exactly one proceeds to its next park
+
+Virtual time rides :class:`repro.sim.des.Simulator`: each grant advances the
+clock one tick, and :meth:`vsleep` parks an actor until a virtual instant —
+so "slow body" workloads explore in microseconds of wall time, and when no
+actor is enabled the driver warps the clock to the earliest sleeper instead
+of idling.  One virtual tick == one scheduling decision.
+
+Teardown safety: :meth:`release_all` flips the scheduler into *free-run*
+mode — every park becomes a pass-through and every parked actor is released
+— so a run being abandoned (violation found, branch pruned, deadlock
+detected) can always join its threads.  A real-time watchdog
+(:attr:`step_timeout`) converts a wedged actor into a diagnosable
+:class:`ExplorationError` naming the culprit instead of a hung explorer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..sim.des import Simulator
+
+__all__ = [
+    "DeterministicScheduler",
+    "ExplorationError",
+    "ExplorationDeadlock",
+    "ParkedActor",
+]
+
+
+class ExplorationError(RuntimeError):
+    """The exploration machinery itself failed (stuck actor, bad grant...)."""
+
+
+class ExplorationDeadlock(ExplorationError):
+    """Every live actor is parked, none is enabled, and no virtual-time
+    wakeup remains: the workload deadlocked under the schedule so far."""
+
+    def __init__(self, parked: list[tuple[str, str, str | None]]) -> None:
+        self.parked = parked
+        detail = ", ".join(
+            f"{label}@{point}" + (f"({target})" if target else "")
+            for label, point, target in parked
+        )
+        super().__init__(f"all actors parked and none enabled: {detail}")
+
+
+class ParkedActor:
+    """Where one enabled actor is parked (what its next step would be)."""
+
+    __slots__ = ("label", "point", "target")
+
+    def __init__(self, label: str, point: str, target: str | None) -> None:
+        self.label = label
+        self.point = point
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ParkedActor {self.label}@{self.point}({self.target})>"
+
+
+class _Actor:
+    __slots__ = (
+        "label", "fn", "thread", "status", "point", "target",
+        "enabled_when", "wake_at", "turn", "error",
+    )
+
+    def __init__(self, label: str, fn: Callable[[], None]) -> None:
+        self.label = label
+        self.fn = fn
+        self.thread: threading.Thread | None = None
+        self.status = "new"  # new -> (parked <-> running)* -> done
+        self.point: str | None = None
+        self.target: str | None = None
+        self.enabled_when: Callable[[], bool] | None = None
+        self.wake_at: float | None = None
+        self.turn = False
+        self.error: BaseException | None = None
+
+
+class DeterministicScheduler:
+    """Serializes enrolled actor threads under explicit driver control."""
+
+    def __init__(self, *, step_timeout: float = 20.0) -> None:
+        #: Virtual clock shared with the workload; one tick per grant.
+        self.sim = Simulator()
+        #: Real-time watchdog: how long :meth:`wait_quiescent` tolerates an
+        #: actor staying between parks before declaring it wedged.
+        self.step_timeout = step_timeout
+        self._cond = threading.Condition()
+        self._actors: dict[str, _Actor] = {}
+        self._by_ident: dict[int, _Actor] = {}
+        self._free_run = False
+        self._started = False
+
+    # ------------------------------------------------------------- enrolment
+
+    def actor(self, label: str, fn: Callable[[], None]) -> None:
+        """Enroll *fn* as actor *label* (before :meth:`start`)."""
+        if self._started:
+            raise ExplorationError("cannot enroll actors after start()")
+        if label in self._actors:
+            raise ExplorationError(f"duplicate actor label {label!r}")
+        self._actors[label] = _Actor(label, fn)
+
+    def start(self) -> None:
+        """Spawn every actor thread; each parks at its ``spawn`` point."""
+        if self._started:
+            raise ExplorationError("scheduler already started")
+        if not self._actors:
+            raise ExplorationError("no actors enrolled")
+        self._started = True
+        for a in self._actors.values():
+            t = threading.Thread(
+                target=self._actor_main, args=(a,),
+                name=f"explore-{a.label}", daemon=True,
+            )
+            a.thread = t
+            t.start()
+
+    def _actor_main(self, actor: _Actor) -> None:
+        self._by_ident[threading.get_ident()] = actor
+        try:
+            # The initial park: an actor's first step is released by the
+            # driver like every other, so spawn order is schedule-controlled.
+            self._park(actor, "spawn", None, None, None)
+            actor.fn()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via errors()
+            actor.error = exc
+        finally:
+            self._by_ident.pop(threading.get_ident(), None)
+            with self._cond:
+                actor.status = "done"
+                self._cond.notify_all()
+
+    # ----------------------------------------------------------- actor side
+
+    def decision(self, point: str, target_name: str) -> None:
+        """The ``InjectionHooks.decision`` hook: park at a runtime seam.
+
+        Unenrolled threads (the driver, foreign pools) pass straight
+        through, so driver-side setup can use the runtime normally.
+        """
+        if self._free_run:
+            return
+        actor = self._by_ident.get(threading.get_ident())
+        if actor is None:
+            return
+        self._park(actor, point, target_name, None, None)
+
+    def checkpoint(
+        self,
+        point: str,
+        target: str | None = None,
+        *,
+        enabled_when: Callable[[], bool] | None = None,
+    ) -> bool:
+        """Explicit workload decision point (e.g. before a cancel, a pump).
+
+        *enabled_when* is evaluated by the driver while everyone is parked;
+        a False predicate means granting this actor now would be a wasted
+        step (nothing to pump), so the branch is never offered.  Returns
+        False once the scheduler is in free-run teardown, letting workload
+        loops exit instead of spinning.
+        """
+        if self._free_run:
+            return False
+        actor = self._by_ident.get(threading.get_ident())
+        if actor is None:
+            return True
+        self._park(actor, point, target, enabled_when, None)
+        return not self._free_run
+
+    def vsleep(self, delay: float) -> None:
+        """Park until virtual time advances *delay* ticks (one tick/grant).
+
+        The virtual-speed replacement for ``time.sleep`` in workload bodies:
+        the driver warps :attr:`sim` forward when only sleepers remain, so a
+        "3 second" body costs three scheduling decisions, not three seconds.
+        """
+        if delay < 0:
+            raise ExplorationError("cannot vsleep a negative delay")
+        if self._free_run:
+            return
+        actor = self._by_ident.get(threading.get_ident())
+        if actor is None:
+            return
+        self._park(actor, "sleep", None, None, float(delay))
+
+    def _park(
+        self,
+        actor: _Actor,
+        point: str,
+        target: str | None,
+        enabled_when: Callable[[], bool] | None,
+        sleep_delay: float | None,
+    ) -> None:
+        with self._cond:
+            if self._free_run:
+                return
+            actor.point = point
+            actor.target = target
+            actor.enabled_when = enabled_when
+            actor.wake_at = (
+                None if sleep_delay is None else self.sim.now + sleep_delay
+            )
+            actor.turn = False
+            actor.status = "parked"
+            self._cond.notify_all()
+            while not actor.turn and not self._free_run:
+                self._cond.wait()
+            actor.status = "running"
+            actor.turn = False
+            actor.point = actor.target = None
+            actor.enabled_when = None
+            actor.wake_at = None
+
+    # ----------------------------------------------------------- driver side
+
+    def _is_enabled(self, actor: _Actor) -> bool:
+        # Caller holds self._cond.
+        if actor.wake_at is not None:
+            return actor.wake_at <= self.sim.now
+        pred = actor.enabled_when
+        if pred is not None:
+            try:
+                return bool(pred())
+            except Exception as exc:
+                raise ExplorationError(
+                    f"enabled predicate of actor {actor.label!r} raised "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+        return True
+
+    def wait_quiescent(self) -> list[ParkedActor]:
+        """Block until every actor is parked or done; return who could run.
+
+        Advances virtual time to the earliest sleeper when nobody else is
+        enabled.  Returns an empty list when all actors finished; raises
+        :class:`ExplorationDeadlock` when parked actors remain but none can
+        ever be granted, and :class:`ExplorationError` when an actor stays
+        between parks longer than :attr:`step_timeout` (a wedged workload).
+        """
+        deadline = time.monotonic() + self.step_timeout
+        with self._cond:
+            while True:
+                # A granted actor keeps status "parked" until its thread
+                # actually wakes; its turn flag marks it in-flight (busy),
+                # or the driver would re-offer the same park as a new step.
+                busy = sorted(
+                    a.label for a in self._actors.values()
+                    if a.status in ("new", "running")
+                    or (a.status == "parked" and a.turn)
+                )
+                if not busy:
+                    parked = [
+                        a for a in self._actors.values() if a.status == "parked"
+                    ]
+                    if not parked:
+                        return []
+                    enabled = [a for a in parked if self._is_enabled(a)]
+                    if enabled:
+                        return [
+                            ParkedActor(a.label, a.point or "", a.target)
+                            for a in sorted(enabled, key=lambda a: a.label)
+                        ]
+                    sleepers = [
+                        a.wake_at for a in parked
+                        if a.wake_at is not None and a.wake_at > self.sim.now
+                    ]
+                    if sleepers:
+                        # Nothing runnable now: warp to the earliest wakeup
+                        # (fires any simulator callbacks due on the way).
+                        self.sim.run(until=min(sleepers))
+                        continue
+                    raise ExplorationDeadlock(sorted(
+                        (a.label, a.point or "", a.target) for a in parked
+                    ))
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    raise ExplorationError(
+                        f"actor(s) {', '.join(busy)} did not reach a decision "
+                        f"point within {self.step_timeout}s — workload blocked "
+                        "outside the instrumented seams?"
+                    )
+
+    def grant(self, label: str) -> None:
+        """Release exactly one parked, enabled actor for its next step."""
+        with self._cond:
+            actor = self._actors.get(label)
+            if actor is None:
+                raise ExplorationError(f"unknown actor {label!r}")
+            if actor.status != "parked":
+                raise ExplorationError(
+                    f"cannot grant {label!r}: status is {actor.status!r}"
+                )
+            if not self._is_enabled(actor):
+                raise ExplorationError(f"cannot grant {label!r}: not enabled")
+            # One scheduling decision == one virtual tick; due simulator
+            # callbacks fire before the actor moves.
+            self.sim.run(until=self.sim.now + 1.0)
+            actor.turn = True
+            self._cond.notify_all()
+
+    # -------------------------------------------------------------- teardown
+
+    def release_all(self) -> None:
+        """Enter free-run mode: all parks pass through, parked actors resume.
+
+        After this the run is no longer deterministic — it is teardown, not
+        exploration; workload loops observe it via :meth:`checkpoint`
+        returning False and exit.
+        """
+        with self._cond:
+            self._free_run = True
+            for a in self._actors.values():
+                a.turn = True
+            self._cond.notify_all()
+
+    def join(self, timeout: float = 10.0) -> None:
+        """Join every actor thread; raise naming any that survive *timeout*."""
+        deadline = time.monotonic() + timeout
+        for a in self._actors.values():
+            if a.thread is not None:
+                a.thread.join(max(0.0, deadline - time.monotonic()))
+        stuck = sorted(
+            a.label for a in self._actors.values()
+            if a.thread is not None and a.thread.is_alive()
+        )
+        if stuck:
+            raise ExplorationError(
+                f"actor(s) {', '.join(stuck)} did not exit during teardown"
+            )
+
+    def errors(self) -> dict[str, BaseException]:
+        """Exceptions escaped from actor bodies, by label (sorted)."""
+        return {
+            a.label: a.error
+            for a in sorted(self._actors.values(), key=lambda a: a.label)
+            if a.error is not None
+        }

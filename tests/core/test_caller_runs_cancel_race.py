@@ -1,0 +1,119 @@
+"""The caller_runs/cancel race: a cancelled region must never be handed to
+the rejection path or have ``run()`` invoked on it.
+
+Two windows existed in ``VirtualTarget.post``'s ``caller_runs`` branch:
+
+* cancel lands *before* the post reaches the full-queue verdict — the old
+  code still bumped the ``caller_runs`` stat, emitted a ``REJECT`` event
+  and dispatched the corpse;
+* cancel lands while the item sits in the queue — dispatch must discard
+  the corpse without calling ``run()`` at all, traced or not.
+
+The deterministic interleaving explorer pins the full schedule tree of
+this race (``repro explore --workload caller-runs-cancel``); these tests
+pin the two windows directly so the contract survives without running the
+explorer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import injection
+from repro.core.targets import EdtTarget
+from repro.explore import SensorRegion
+from repro.obs.events import EventKind
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    obs.disable()
+    obs.session().clear()
+    injection.uninstall()
+    yield
+    obs.disable()
+    obs.session().clear()
+    injection.uninstall()
+
+
+def _full_caller_runs_target() -> tuple[EdtTarget, SensorRegion]:
+    """A capacity-1 caller_runs target whose queue is already full."""
+    target = EdtTarget("t0", queue_capacity=1, rejection_policy="caller_runs")
+    target.post(SensorRegion(lambda: "blocker", name="blocker"))
+    return target, SensorRegion(lambda: "r1", name="r1")
+
+
+class TestCancelBeforeVerdict:
+    def test_corpse_is_dropped_silently(self):
+        target, region = _full_caller_runs_target()
+        region.cancel()
+        session = obs.enable()
+        target.post(region)  # full queue + caller_runs + corpse: no-op
+        obs.disable()
+        assert region.late_runs == 0
+        assert target.stats["caller_runs"] == 0
+        kinds = [(e.kind, e.name) for e in session.events()]
+        assert (EventKind.REJECT, "r1") not in kinds
+        target.shutdown(wait=False)
+
+    def test_cancel_inside_the_seam_window(self):
+        # The exact interleaving of the bug: the cancel lands after the
+        # poster crossed the injection seam but before the full-queue
+        # verdict.  The decision hook runs at that seam, so firing the
+        # cancel from it reproduces the window deterministically.
+        target, region = _full_caller_runs_target()
+
+        def cancel_at_seam(point: str, name: str) -> None:
+            if point == "post" and not region.done:
+                region.cancel()
+
+        injection.install(injection.InjectionHooks(decision=cancel_at_seam))
+        session = obs.enable()
+        target.post(region)
+        obs.disable()
+        injection.uninstall()
+        assert region.done
+        assert region.late_runs == 0
+        assert target.stats["caller_runs"] == 0
+        kinds = [(e.kind, e.name) for e in session.events()]
+        assert (EventKind.REJECT, "r1") not in kinds
+        target.shutdown(wait=False)
+
+    def test_live_region_still_takes_caller_runs(self):
+        target, region = _full_caller_runs_target()
+        session = obs.enable()
+        target.post(region)  # full queue, live region: runs in this thread
+        obs.disable()
+        assert region.done
+        assert region.result() == "r1"
+        assert region.late_runs == 0
+        assert target.stats["caller_runs"] == 1
+        rejects = [e for e in session.events()
+                   if e.kind is EventKind.REJECT and e.name == "r1"]
+        assert len(rejects) == 1 and rejects[0].arg == "caller_runs"
+        target.shutdown(wait=False)
+
+
+class TestCorpseAtDispatch:
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_dequeued_corpse_is_never_run(self, traced):
+        # The discard must not depend on whether tracing is on: pre-fix the
+        # corpse check lived inside the tracing branch only.
+        target = EdtTarget("t0")
+        region = SensorRegion(lambda: "r1", name="r1")
+        session = obs.enable() if traced else None
+        target.post(region)
+        region.cancel()
+        assert target.process_one(timeout=0)  # dequeues the corpse
+        if traced:
+            obs.disable()
+        assert region.late_runs == 0
+        assert target.work_count() == 0
+        if traced:
+            # The dequeue itself is still on the record: every ENQUEUE must
+            # resolve, and discard-at-dispatch is how this one did.
+            kinds = [e.kind for e in session.events() if e.name == "r1"]
+            assert EventKind.DEQUEUE in kinds
+            assert EventKind.EXEC_BEGIN not in kinds
+        target.shutdown(wait=False)

@@ -1,0 +1,100 @@
+"""Contract: ``force_queue_full`` applies to *bounded* queues only.
+
+An unbounded queue can never be full, so the fault hook must never be
+consulted for one — a forced rejection there would fabricate a state the
+real runtime cannot reach.  These tests pin the contract for the base
+``_TargetQueue`` path (every thread-backed target) across all three
+rejection policies; the asyncio adapter's mirror of the same contract is
+covered in ``tests/adapters/test_asyncio_injection.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import injection
+from repro.core.errors import QueueFullError
+from repro.core.region import TargetRegion
+from repro.core.targets import EdtTarget
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    obs.disable()
+    obs.session().clear()
+    injection.uninstall()
+    yield
+    obs.disable()
+    obs.session().clear()
+    injection.uninstall()
+
+
+class _Hook:
+    """force_queue_full hook that records every consultation."""
+
+    def __init__(self, verdict: bool = True) -> None:
+        self.verdict = verdict
+        self.calls: list[str] = []
+
+    def __call__(self, owner: str) -> bool:
+        self.calls.append(owner)
+        return self.verdict
+
+
+class TestUnboundedNeverConsults:
+    @pytest.mark.parametrize("policy", ["block", "reject", "caller_runs"])
+    def test_post_succeeds_and_hook_stays_cold(self, policy):
+        hook = _Hook(verdict=True)  # would force "full" if ever consulted
+        injection.install(injection.InjectionHooks(force_queue_full=hook))
+        target = EdtTarget("t0", rejection_policy=policy)
+        region = TargetRegion(lambda: "ok", name="r1")
+        target.post(region)  # must enqueue: capacity is None
+        assert hook.calls == []
+        assert target.work_count() == 1
+        assert target.stats["posted"] == 1
+        assert target.stats["rejected"] == 0
+        assert target.stats["caller_runs"] == 0
+        target.shutdown(wait=False)
+
+
+class TestBoundedConsults:
+    def test_reject_policy_forced_full(self):
+        hook = _Hook(verdict=True)
+        injection.install(injection.InjectionHooks(force_queue_full=hook))
+        target = EdtTarget("t0", queue_capacity=4, rejection_policy="reject")
+        with pytest.raises(QueueFullError):
+            target.post(TargetRegion(lambda: None, name="r1"))
+        assert hook.calls == ["t0"]
+        assert target.work_count() == 0  # the queue had space; the fault won
+        assert target.stats["rejected"] == 1
+        target.shutdown(wait=False)
+
+    def test_caller_runs_policy_forced_full(self):
+        hook = _Hook(verdict=True)
+        injection.install(injection.InjectionHooks(force_queue_full=hook))
+        target = EdtTarget("t0", queue_capacity=4, rejection_policy="caller_runs")
+        region = TargetRegion(lambda: "inline", name="r1")
+        target.post(region)
+        assert hook.calls == ["t0"]
+        assert region.result() == "inline"  # ran in the posting thread
+        assert target.stats["caller_runs"] == 1
+        target.shutdown(wait=False)
+
+    def test_block_policy_forced_full(self):
+        hook = _Hook(verdict=True)
+        injection.install(injection.InjectionHooks(force_queue_full=hook))
+        target = EdtTarget("t0", queue_capacity=4, rejection_policy="block")
+        with pytest.raises(QueueFullError):
+            target.post(TargetRegion(lambda: None, name="r1"), timeout=0.05)
+        assert hook.calls == ["t0"]
+        target.shutdown(wait=False)
+
+    def test_false_verdict_lets_the_post_through(self):
+        hook = _Hook(verdict=False)
+        injection.install(injection.InjectionHooks(force_queue_full=hook))
+        target = EdtTarget("t0", queue_capacity=4, rejection_policy="reject")
+        target.post(TargetRegion(lambda: None, name="r1"))
+        assert hook.calls == ["t0"]  # consulted, said "not full"
+        assert target.work_count() == 1
+        target.shutdown(wait=False)

@@ -1,0 +1,22 @@
+"""Isolation for the explore suite: exploration starts/stops the process
+global trace session and installs the decision hook; every test gets a
+clean session and leaves no injection hooks armed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import injection
+
+
+@pytest.fixture(autouse=True)
+def _clean_session():
+    obs.disable()
+    obs.session().clear()
+    injection.uninstall()
+    yield
+    obs.disable()
+    obs.session().clear()
+    obs.session().buffer_size = obs.DEFAULT_BUFFER_SIZE
+    injection.uninstall()

@@ -1,0 +1,158 @@
+"""The exploration DFS: coverage, pruning, violation -> schedule -> replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore import (
+    ScheduleFile,
+    ScheduleStep,
+    TAMPERS,
+    explore,
+    load_schedule,
+    replay,
+    save_schedule,
+    schedule_digest,
+)
+
+
+class TestCoverage:
+    def test_post_2x1_is_exhaustive(self):
+        result = explore("post-2x1", max_schedules=2000)
+        assert result.exhausted
+        assert result.ok
+        assert result.violating is None
+        # The 2-region/1-target acceptance model: a real tree, fully drained.
+        assert result.schedules > 50
+        assert result.max_steps >= 7
+
+    def test_exploration_is_deterministic(self):
+        a = explore("post-2x1", max_schedules=2000)
+        b = explore("post-2x1", max_schedules=2000)
+        assert (a.schedules, a.abandoned, a.pruned_sleep, a.max_steps) == \
+            (b.schedules, b.abandoned, b.pruned_sleep, b.max_steps)
+
+    def test_budget_caps_the_walk(self):
+        result = explore("post-2x1", max_schedules=5)
+        assert not result.exhausted
+        assert result.schedules + result.abandoned == 5
+
+    def test_seeded_exploration_is_reproducible(self):
+        a = explore("post-2x1", max_schedules=40, seed=7)
+        b = explore("post-2x1", max_schedules=40, seed=7)
+        assert (a.schedules, a.abandoned, a.total_steps) == \
+            (b.schedules, b.abandoned, b.total_steps)
+
+    def test_unknown_workload_and_inject_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            explore("no-such-model")
+        with pytest.raises(ValueError, match="unknown inject"):
+            explore("post-2x1", inject="no-such-tamper")
+
+
+class TestPruning:
+    def test_sleep_sets_prune_independent_targets(self):
+        # Two independent target/pumper pairs: most cross-orderings commute,
+        # so the sleep sets must cut real work.
+        result = explore("post-2x2", max_schedules=300)
+        assert result.ok
+        assert result.pruned_sleep > 0
+
+    def test_preemption_bound_shrinks_the_tree(self):
+        free = explore("post-2x1", max_schedules=2000)
+        bounded = explore("post-2x1", preemption_bound=0, max_schedules=2000)
+        assert bounded.exhausted
+        assert bounded.ok
+        assert bounded.pruned_preempt > 0
+        # A 0-preemption walk only switches actors at voluntary yields.
+        assert bounded.schedules < free.schedules
+
+
+class TestViolationPipeline:
+    @pytest.mark.parametrize("mode", sorted(TAMPERS))
+    def test_tampered_trace_is_caught(self, mode):
+        result = explore("post-2x1", inject=mode, max_schedules=50)
+        assert not result.ok
+        assert result.violating is not None
+        assert result.violating.violations
+
+    def test_violating_schedule_replays_identically(self, tmp_path):
+        result = explore("post-2x1", inject="lying-exec-outcome")
+        rec = result.violating
+        assert rec is not None
+        path = save_schedule(tmp_path, ScheduleFile(
+            workload=result.workload,
+            steps=rec.choices,
+            inject=result.inject,
+            violations=[v.render() for v in rec.violations],
+        ))
+        outcome = replay(str(path))
+        assert outcome.record.diverged is None
+        assert outcome.identical
+        assert outcome.actual == outcome.expected
+        assert outcome.actual  # the violation really was reproduced
+
+    def test_replay_reports_divergence(self, tmp_path):
+        # A schedule whose first grant expects a park the actor never takes:
+        # at depth 0 every actor is parked at "spawn", not "post".
+        path = save_schedule(tmp_path, ScheduleFile(
+            workload="post-2x1",
+            steps=[ScheduleStep("post-a", "post", "t0")],
+            violations=[],
+        ))
+        outcome = replay(str(path))
+        assert outcome.record.diverged is not None
+        assert not outcome.identical
+
+    def test_replay_rejects_unknown_workload(self, tmp_path):
+        path = save_schedule(tmp_path, ScheduleFile(
+            workload="post-2x1", steps=[]
+        ))
+        doc = json.loads(path.read_text())
+        doc["workload"] = "no-such-model"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="unknown workload"):
+            replay(str(path))
+
+
+class TestScheduleFiles:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        sf = ScheduleFile(
+            workload="post-2x1",
+            steps=[
+                ScheduleStep("post-a", "spawn"),
+                ScheduleStep("post-a", "post", "t0"),
+            ],
+            inject="lost-dequeue",
+            violations=["[x] something"],
+            meta={"preemption_bound": 2},
+        )
+        path = save_schedule(tmp_path, sf)
+        loaded = load_schedule(path)
+        assert loaded.workload == sf.workload
+        assert loaded.steps == sf.steps
+        assert loaded.inject == sf.inject
+        assert loaded.violations == sf.violations
+        assert loaded.meta == sf.meta
+
+    def test_digest_is_stable_and_content_sensitive(self):
+        steps = [ScheduleStep("a", "post", "t0")]
+        d1 = schedule_digest("w", steps)
+        d2 = schedule_digest("w", [ScheduleStep("a", "post", "t0")])
+        d3 = schedule_digest("w", [ScheduleStep("b", "post", "t0")])
+        assert d1 == d2
+        assert d1 != d3
+        assert len(d1) == 12
+
+    def test_filename_embeds_workload_and_digest(self, tmp_path):
+        sf = ScheduleFile(workload="post-2x1", steps=[])
+        path = save_schedule(tmp_path, sf)
+        assert path.name == f"explore-post-2x1-{sf.digest()}.json"
+
+    def test_foreign_format_rejected(self, tmp_path):
+        bogus = tmp_path / "not-a-schedule.json"
+        bogus.write_text(json.dumps({"format": "something/else"}))
+        with pytest.raises(ValueError, match="not a repro.explore/v1"):
+            load_schedule(bogus)

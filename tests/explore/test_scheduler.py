@@ -1,0 +1,258 @@
+"""DeterministicScheduler: the park/grant protocol in isolation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.explore.scheduler import (
+    DeterministicScheduler,
+    ExplorationDeadlock,
+    ExplorationError,
+)
+
+
+def step(sched, label):
+    """Wait for quiescence, assert *label* is enabled, grant it."""
+    parked = sched.wait_quiescent()
+    assert label in [p.label for p in parked], (label, parked)
+    sched.grant(label)
+
+
+class TestSerialization:
+    def test_grant_order_is_execution_order(self):
+        sched = DeterministicScheduler()
+        log = []
+
+        def actor(tag):
+            def fn():
+                for i in range(2):
+                    sched.checkpoint("step")
+                    log.append(f"{tag}{i}")
+            return fn
+
+        sched.actor("a", actor("a"))
+        sched.actor("b", actor("b"))
+        sched.start()
+        # spawn parks first, then each checkpoint park; interleave strictly.
+        for label in ("a", "b", "a", "b", "a", "b"):
+            step(sched, label)
+        assert sched.wait_quiescent() == []
+        sched.join()
+        assert log == ["a0", "b0", "a1", "b1"]
+
+    def test_exactly_one_actor_runs_between_grants(self):
+        sched = DeterministicScheduler()
+        log = []
+
+        def actor(tag):
+            def fn():
+                sched.checkpoint("step")
+                log.append((tag, "in"))
+                time.sleep(0.005)
+                log.append((tag, "out"))
+            return fn
+
+        for label in ("a", "b", "c"):
+            sched.actor(label, actor(label))
+        sched.start()
+        while True:
+            parked = sched.wait_quiescent()
+            if not parked:
+                break
+            sched.grant(parked[0].label)
+        sched.join()
+        # Serialized execution: every "in" is immediately followed by the
+        # same actor's "out" — no two bodies were ever in flight at once.
+        assert len(log) == 6
+        for i in range(0, len(log), 2):
+            assert log[i][0] == log[i + 1][0]
+            assert (log[i][1], log[i + 1][1]) == ("in", "out")
+
+    def test_enabled_listing_is_sorted_with_park_info(self):
+        sched = DeterministicScheduler()
+        sched.actor("zeta", lambda: sched.checkpoint("late", "t1"))
+        sched.actor("alpha", lambda: sched.checkpoint("early", "t0"))
+        sched.start()
+        parked = sched.wait_quiescent()
+        assert [p.label for p in parked] == ["alpha", "zeta"]
+        assert all(p.point == "spawn" for p in parked)
+        step(sched, "alpha")
+        step(sched, "zeta")
+        parked = sched.wait_quiescent()
+        assert [(p.label, p.point, p.target) for p in parked] == [
+            ("alpha", "early", "t0"), ("zeta", "late", "t1"),
+        ]
+        sched.release_all()
+        sched.join()
+
+
+class TestEnabledPredicates:
+    def test_disabled_actor_is_not_offered(self):
+        sched = DeterministicScheduler()
+        gate = []
+
+        sched.actor("waiter", lambda: sched.checkpoint(
+            "wait", enabled_when=lambda: bool(gate)))
+        sched.actor("opener", lambda: gate.append(1))
+        sched.start()
+        step(sched, "waiter")  # spawn park: release it into its checkpoint
+        parked = sched.wait_quiescent()
+        # waiter is parked but disabled; only opener's spawn is offered.
+        assert [p.label for p in parked] == ["opener"]
+        step(sched, "opener")
+        parked = sched.wait_quiescent()
+        assert [p.label for p in parked] == ["waiter"]
+        step(sched, "waiter")
+        sched.join()
+
+    def test_grant_of_disabled_actor_is_an_error(self):
+        sched = DeterministicScheduler()
+        sched.actor("waiter", lambda: sched.checkpoint(
+            "wait", enabled_when=lambda: False))
+        sched.actor("other", lambda: sched.checkpoint("step"))
+        sched.start()
+        step(sched, "waiter")
+        step(sched, "other")
+        sched.wait_quiescent()
+        with pytest.raises(ExplorationError, match="not enabled"):
+            sched.grant("waiter")
+        sched.release_all()
+        sched.join()
+
+    def test_predicate_exception_is_diagnosed(self):
+        sched = DeterministicScheduler()
+        sched.actor("bad", lambda: sched.checkpoint(
+            "wait", enabled_when=lambda: 1 / 0))
+        sched.start()
+        step(sched, "bad")
+        with pytest.raises(ExplorationError, match="enabled predicate"):
+            sched.wait_quiescent()
+        sched.release_all()
+        sched.join()
+
+
+class TestVirtualTime:
+    def test_vsleep_costs_no_wall_time(self):
+        sched = DeterministicScheduler()
+        sched.actor("sleeper", lambda: sched.vsleep(3600.0))
+        sched.start()
+        step(sched, "sleeper")  # spawn -> vsleep park
+        t0 = time.monotonic()
+        parked = sched.wait_quiescent()  # warps the clock to the wakeup
+        assert time.monotonic() - t0 < 5.0
+        assert [p.label for p in parked] == ["sleeper"]
+        assert sched.sim.now >= 3600.0
+        sched.grant("sleeper")
+        sched.join()
+
+    def test_each_grant_advances_one_tick(self):
+        sched = DeterministicScheduler()
+        sched.actor("a", lambda: sched.checkpoint("step"))
+        sched.start()
+        assert sched.sim.now == 0.0
+        step(sched, "a")  # spawn
+        step(sched, "a")  # checkpoint
+        sched.join()
+        assert sched.sim.now == 2.0
+
+    def test_sleepers_wake_in_virtual_order(self):
+        sched = DeterministicScheduler()
+        log = []
+        sched.actor("slow", lambda: (sched.vsleep(10.0), log.append("slow"))[-1])
+        sched.actor("fast", lambda: (sched.vsleep(2.0), log.append("fast"))[-1])
+        sched.start()
+        step(sched, "fast")
+        step(sched, "slow")
+        while True:
+            parked = sched.wait_quiescent()
+            if not parked:
+                break
+            sched.grant(parked[0].label)
+        sched.join()
+        assert log == ["fast", "slow"]
+
+
+class TestFailureModes:
+    def test_deadlock_names_the_parked_actors(self):
+        sched = DeterministicScheduler()
+        sched.actor("stuck", lambda: sched.checkpoint(
+            "never", "t9", enabled_when=lambda: False))
+        sched.start()
+        step(sched, "stuck")
+        with pytest.raises(ExplorationDeadlock, match="stuck@never"):
+            sched.wait_quiescent()
+        sched.release_all()
+        sched.join()
+
+    def test_wedged_actor_hits_the_watchdog(self):
+        sched = DeterministicScheduler(step_timeout=0.2)
+        gate = []
+
+        def busy():
+            while not gate:
+                time.sleep(0.01)
+
+        sched.actor("wedged", busy)
+        sched.start()
+        step(sched, "wedged")
+        with pytest.raises(ExplorationError, match="wedged"):
+            sched.wait_quiescent()
+        gate.append(1)
+        sched.release_all()
+        sched.join()
+
+    def test_actor_exception_is_captured_not_raised(self):
+        sched = DeterministicScheduler()
+
+        def boom():
+            raise ValueError("actor body failed")
+
+        sched.actor("boom", boom)
+        sched.start()
+        step(sched, "boom")
+        assert sched.wait_quiescent() == []
+        sched.join()
+        errors = sched.errors()
+        assert set(errors) == {"boom"}
+        assert isinstance(errors["boom"], ValueError)
+
+    def test_duplicate_label_and_late_enrolment_rejected(self):
+        sched = DeterministicScheduler()
+        sched.actor("a", lambda: None)
+        with pytest.raises(ExplorationError, match="duplicate"):
+            sched.actor("a", lambda: None)
+        sched.start()
+        with pytest.raises(ExplorationError, match="after start"):
+            sched.actor("b", lambda: None)
+        step(sched, "a")
+        sched.join()
+
+    def test_grant_unknown_actor_rejected(self):
+        sched = DeterministicScheduler()
+        sched.actor("a", lambda: None)
+        sched.start()
+        with pytest.raises(ExplorationError, match="unknown actor"):
+            sched.grant("ghost")
+        sched.release_all()
+        sched.join()
+
+
+class TestTeardown:
+    def test_release_all_unblocks_loops(self):
+        sched = DeterministicScheduler()
+        rounds = []
+
+        def looper():
+            while sched.checkpoint("loop"):
+                rounds.append(1)
+
+        sched.actor("looper", looper)
+        sched.start()
+        step(sched, "looper")  # spawn
+        step(sched, "looper")  # one loop round
+        sched.wait_quiescent()
+        sched.release_all()
+        sched.join()
+        assert rounds  # made progress, then exited via the False checkpoint
