@@ -1,8 +1,14 @@
-"""Figure 9 — HTTP service throughput vs number of worker threads.
+"""Figure 9 — HTTP service throughput vs number of worker threads (simulated).
 
 Paper §V-B: an encryption web service on a 16-core Xeon, 100 virtual users;
 four variants — Jetty, Pyjama, and each combined with per-request
-``omp parallel``.  Claims reproduced:
+``omp parallel``.  These numbers come from the **analytic simulation**
+(:mod:`repro.sim`) — virtual time, modeled kernel costs, the paper's 16-core
+machine.  The *live* counterpart — real sockets, real crypt kernel, this
+host — is ``bench_serve_live.py`` / ``python -m repro serve --bench``; the
+two are not comparable (different machine models, different clock).
+
+Claims reproduced:
 
 * Jetty and Pyjama scale comparably with worker threads ("both … have good
   scaling performance");
@@ -52,7 +58,8 @@ def test_fig9_throughput_vs_worker_threads(benchmark, report):
         f"{label:>10}" for _, _, label in VARIANTS
     )
     lines = [
-        "Figure 9: throughput (responses/sec), 100 virtual users, 16 cores, "
+        "Figure 9 [simulated (repro.sim)]: throughput (responses/sec), "
+        "100 virtual users, 16 cores, "
         f"encryption=320ms, parallel team={PARALLEL_TEAM}",
         header,
         "-" * len(header),
@@ -62,6 +69,13 @@ def test_fig9_throughput_vs_worker_threads(benchmark, report):
             f"{w:>8} | "
             + " | ".join(f"{data[label][i]:>10.1f}" for _, _, label in VARIANTS)
         )
+    lines.append("")
+    lines.append(
+        "NOTE: simulated (repro.sim) — modeled 16-core machine in virtual "
+        "time, not live sockets.  For measured numbers on this host see "
+        "bench_serve_live.py or `python -m repro serve --bench`; the two "
+        "are not directly comparable."
+    )
     lines.append("")
     lines.append("p95 response latency (s):")
     for i, w in enumerate(WORKERS):

@@ -1,0 +1,119 @@
+"""Live serving benchmark — the measured counterpart of the Fig. 9 simulation.
+
+Stands up the real :mod:`repro.serve` HTTP server (asyncio accept loop as
+the EDT target, crypt-kernel handlers dispatched to a thread- or
+process-backed CPU target) in a background thread, then drives it closed-
+loop over real sockets from this thread's own event loop.  Reported
+numbers are *this host's*: they measure the runtime's dispatch path plus a
+real TCP round trip, and are **not comparable** to the simulated 16-core
+figures in ``bench_fig9_http_throughput.py``.
+
+No baseline gate: live throughput depends on the host's core count and
+load, so CI archives the JSON (``python -m repro serve --bench``) without a
+``--max-regress`` comparison until enough history exists to set one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro import bench as hbench
+from repro.serve import HttpServer, ServeConfig, run_closed_loop
+
+HOST = "127.0.0.1"
+
+
+class _BackgroundServer:
+    """An HttpServer running its own asyncio loop in a daemon thread."""
+
+    def __init__(self, backend: str, **cfg_kwargs):
+        self.config = ServeConfig(
+            backend=backend, port=0, workers=4, queue_capacity=256,
+            policy="reject", **cfg_kwargs,
+        )
+        self.port: int | None = None
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name=f"serve-bench-{backend}", daemon=True,
+        )
+
+    async def _main(self) -> None:
+        server = HttpServer(self.config)
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await server.start()
+        self.port = server.port
+        self._started.set()
+        await self._stop.wait()
+        await server.stop()
+
+    def start(self) -> "_BackgroundServer":
+        self._thread.start()
+        if not self._started.wait(timeout=60.0):
+            raise RuntimeError("background server failed to start")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60.0)
+
+
+def burst(port: int, requests: int = 400, concurrency: int = 16):
+    """One closed-loop burst from a fresh client loop over real sockets."""
+    return asyncio.run(run_closed_loop(
+        HOST, port, requests=requests, concurrency=concurrency,
+        payload_bytes=64,
+    ))
+
+
+def test_serve_live_roundtrip(benchmark, report):
+    server = _BackgroundServer("thread").start()
+    try:
+        result = benchmark.pedantic(
+            lambda: burst(server.port, requests=1000, concurrency=32),
+            rounds=1, iterations=1,
+        )
+    finally:
+        server.stop()
+
+    lines = [
+        "Live serving [measured on this host — not comparable to the "
+        "simulated Figure 9]:",
+        f"backend=thread workers=4 policy=reject, closed loop "
+        f"(1000 requests, 32 connections, 64-byte /encrypt)",
+        f"    responses : {result.requests} "
+        f"({result.ok} ok, {result.errors} transport errors)",
+        f"    throughput: {result.throughput_rps:,.0f} req/s",
+    ]
+    if result.latencies_s:
+        lat = result.summary()["latency_ms"]
+        lines.append(
+            f"    latency   : p50 {lat['p50']:.2f} ms, "
+            f"p99 {lat['p99']:.2f} ms, max {lat['max']:.2f} ms"
+        )
+    report("serve_live", lines)
+
+    assert result.requests == 1000
+    assert result.ok == 1000, result.statuses
+    assert result.errors == 0
+    assert result.throughput_rps > 0
+
+
+def _register(backend: str) -> None:
+    @hbench.benchmark(
+        f"serve_live_{backend}", group="serve", slow=True,
+        description=f"closed-loop HTTP burst against the live {backend}-"
+                    "backend Fig. 9 server (400 requests, 16 connections)",
+    )
+    def _setup():
+        server = _BackgroundServer(backend).start()
+        return (lambda: burst(server.port)), server.stop
+
+
+for _backend in ("thread", "process"):
+    _register(_backend)

@@ -23,6 +23,7 @@ virtual target and awaited without blocking the loop.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 from typing import Any, Callable
 
@@ -35,6 +36,8 @@ from ..obs import EventKind
 from ..obs import recorder as _obs
 
 __all__ = ["AsyncioEdtTarget", "register_asyncio_edt", "as_future", "run_blocking_io"]
+
+_logger = logging.getLogger(__name__)
 
 
 class AsyncioEdtTarget(VirtualTarget):
@@ -128,18 +131,19 @@ class AsyncioEdtTarget(VirtualTarget):
                     return False  # cancelled before the handoff: a corpse
                 self._bump("caller_runs")
                 self._trace_reject(region, _obs.session(), "caller_runs")
+                self._warn_caller_runs_on_loop(region)
                 self._dispatch(region, dequeued=False)
                 return False
             self._bump("rejected")
             self._trace_reject(region, _obs.session(), self.rejection_policy)
-            raise QueueFullError(self.name, self.queue_capacity)
+            raise QueueFullError(self.name, self.queue_capacity, self.rejection_policy)
         with self._inflight_cond:
             cap = self.queue_capacity
             if cap is not None and len(self._inflight) >= cap:
                 if self.rejection_policy == "reject":
                     self._bump("rejected")
                     self._trace_reject(region, _obs.session(), "reject")
-                    raise QueueFullError(self.name, cap)
+                    raise QueueFullError(self.name, cap, "reject")
                 if self.rejection_policy == "caller_runs":
                     pass  # dispatched below, outside the lock
                 else:  # block
@@ -150,8 +154,9 @@ class AsyncioEdtTarget(VirtualTarget):
                     if self._shutdown.is_set():
                         raise TargetShutdownError(self.name)
                     if not ok:
+                        self._bump("rejected")
                         self._trace_reject(region, _obs.session(), "block")
-                        raise QueueFullError(self.name, cap)
+                        raise QueueFullError(self.name, cap, "block")
                     self._track(region)
                     return True
             else:
@@ -163,8 +168,29 @@ class AsyncioEdtTarget(VirtualTarget):
             return False  # cancelled while the admission verdict was made
         self._bump("caller_runs")
         self._trace_reject(region, _obs.session(), "caller_runs")
+        self._warn_caller_runs_on_loop(region)
         self._dispatch(region, dequeued=False)
         return False
+
+    def _warn_caller_runs_on_loop(self, region: TargetRegion) -> None:
+        """The ``caller_runs`` hazard this adapter is uniquely exposed to.
+
+        On a thread-backed target, caller_runs is backpressure: the posting
+        thread pays for its own burst.  But when the poster *is* the event
+        loop thread (a callback posting onward), "run it in the caller" means
+        running CPU-bound work on the loop — every other connection stalls
+        behind it.  The policy still honors its contract, so this warns
+        rather than refuses; latency-sensitive loops should prefer ``reject``
+        (map it to a 503) or ``block`` with a timeout.
+        """
+        if self.contains():
+            _logger.warning(
+                "caller_runs on asyncio target %r is executing region %r on "
+                "the event loop thread; CPU-bound work will stall every other "
+                "callback — prefer rejection_policy='reject' (surface a 503) "
+                "or 'block' with a post timeout",
+                self.name, region.label,
+            )
 
     def _track(self, region: TargetRegion) -> None:
         # Caller holds _inflight_cond.
@@ -200,17 +226,42 @@ class AsyncioEdtTarget(VirtualTarget):
             "with as_future() inside coroutines instead"
         )
 
+    #: How long ``shutdown(wait=True)`` waits for the in-flight shadow set to
+    #: drain before downgrading to cancel with a diagnostic (class-level so
+    #: tests can shrink it, mirroring ``EdtTarget._shutdown_ack_timeout``).
+    _drain_grace = 5.0
+
     def shutdown(self, wait: bool = True) -> None:
         # The loop belongs to the application; we only detach from it.  But
         # regions we already handed to the loop are ours: ``wait=False``
         # cancels the not-yet-run ones so their waiters fail fast instead of
-        # hanging on callbacks a dying loop may never execute.
+        # hanging on callbacks a dying loop may never execute.  ``wait=True``
+        # honors the drain covenant *bounded by _drain_grace*: an in-flight
+        # keep-alive handler that never returns must not wedge the caller, so
+        # past the deadline the drain downgrades to cancel and says so.
         if self._shutdown.is_set():
             return
         self._shutdown.set()
         with self._inflight_cond:
-            inflight = list(self._inflight)
             self._inflight_cond.notify_all()  # release blocked posters
+        if wait and not self.contains() and not self.loop.is_closed():
+            # Waiting *on* the loop thread would deadlock the very loop that
+            # has to run the callbacks being waited for — same self-thread
+            # rule as EdtTarget.shutdown.  Off-loop, give the backlog a
+            # bounded chance to run down before giving up on it.
+            with self._inflight_cond:
+                drained = self._inflight_cond.wait_for(
+                    lambda: not self._inflight, timeout=self._drain_grace
+                )
+            if not drained:
+                wait = False  # downgrade: cancel whatever is still pending
+                _logger.warning(
+                    "asyncio target %r did not drain its in-flight regions "
+                    "within %.1fs; downgrading shutdown to cancel: %s",
+                    self.name, self._drain_grace, self.describe(),
+                )
+        with self._inflight_cond:
+            inflight = list(self._inflight)
         if not wait:
             reason = TargetShutdownError(self.name)
             for region in inflight:

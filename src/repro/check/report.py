@@ -54,14 +54,16 @@ def render_report(result: CheckResult) -> str:
     """The deterministic stdout report (one line per phase, findings nested)."""
     header = (
         f"repro check: profile={result.profile} seed={result.seed} "
-        f"iterations={sum(1 for p in result.phases if p.label != 'dist')} "
+        f"iterations={sum(1 for p in result.phases if p.label.isdigit())} "
         f"ops={result.ops}"
     )
     if result.inject:
         header += f" inject={result.inject}"
     lines = [header]
     for phase in result.phases:
-        what = "iteration" if phase.label != "dist" else "phase"
+        # Numbered phases are stress iterations; named ones ("dist",
+        # "serve") are the special phases.
+        what = "iteration" if phase.label.isdigit() else "phase"
         if phase.ok:
             lines.append(f"{what} {phase.label}: ok")
         else:

@@ -80,6 +80,7 @@ class StressProfile:
     ops: int
     buffer_size: int
     use_dist: bool
+    use_serve: bool = False
     jitter_probability: float = 0.15
     jitter_max_s: float = 0.002
 
@@ -90,9 +91,11 @@ PROFILES: dict[str, StressProfile] = {
         "smoke", iterations=2, ops=80, buffer_size=1 << 17, use_dist=False
     ),
     # Developer-sized: longer schedules plus the process-target phase with a
-    # worker-death injection.
+    # worker-death injection, and the live-serving phase (worker kill under
+    # real HTTP load — see repro.serve.soak).
     "soak": StressProfile(
-        "soak", iterations=10, ops=250, buffer_size=1 << 18, use_dist=True
+        "soak", iterations=10, ops=250, buffer_size=1 << 18, use_dist=True,
+        use_serve=True,
     ),
 }
 
@@ -493,18 +496,22 @@ def run_check(
     ops: int | None = None,
     inject: str | None = None,
     dist: bool | None = None,
+    serve: bool | None = None,
 ) -> CheckResult:
-    """Run the full check: N stress iterations, then the optional dist phase.
+    """Run the full check: N stress iterations, then the optional dist and
+    live-serving phases.
 
     ``inject`` (a :data:`TAMPERS` key) tampers with iteration 0's recorded
     events so the resulting report demonstrates a detected violation; the
-    other iterations run untampered.
+    other iterations run untampered.  ``serve`` forces the HTTP worker-kill
+    phase on or off (default: the profile's ``use_serve``).
     """
     prof = PROFILES[profile]
     if ops is not None:
         prof = replace(prof, ops=ops)
     n_iterations = iterations if iterations is not None else prof.iterations
     use_dist = dist if dist is not None else prof.use_dist
+    use_serve = serve if serve is not None else prof.use_serve
     result = CheckResult(profile=profile, seed=seed, ops=prof.ops, inject=inject)
     for i in range(n_iterations):
         result.phases.append(
@@ -512,6 +519,11 @@ def run_check(
         )
     if use_dist:
         result.phases.append(run_dist_phase(prof, seed))
+    if use_serve:
+        # Lazy: repro.serve pulls in adapters/bench; keep plain checks light.
+        from ..serve.soak import run_serve_phase
+
+        result.phases.append(run_serve_phase(prof, seed))
     return result
 
 

@@ -96,14 +96,23 @@ class QueueFullError(PyjamaError):
 
     Raised by the ``reject`` rejection policy, and by the ``block`` policy
     when the post's own timeout elapses before space frees up.
+
+    Structured for admission-control layers (e.g. an HTTP server mapping the
+    rejection to a 503): ``name`` is the refusing target, ``capacity`` its
+    bound, and ``policy`` the rejection policy that produced the refusal —
+    nothing has to be parsed back out of the message.
     """
 
-    def __init__(self, name: str, capacity: int):
+    def __init__(self, name: str, capacity: int, policy: str | None = None):
         self.name = name
         self.capacity = capacity
+        self.policy = policy
+        detail = f"capacity {capacity}"
+        if policy is not None:
+            detail += f", policy {policy!r}"
         super().__init__(
             f"virtual target {name!r} rejected a post: bounded queue is full "
-            f"(capacity {capacity})"
+            f"({detail})"
         )
 
 

@@ -376,7 +376,13 @@ class PjRuntime:
             return region
 
         self._count("posted", mode.value)
-        executor.post(region)  # line 8
+        # The deadline bounds *admission* too: a bounded target under the
+        # ``block`` policy parks the poster for at most ``timeout`` seconds
+        # before raising QueueFullError, so a fire-and-forget dispatch into a
+        # saturated queue cannot wedge the encountering thread forever (an
+        # event loop posting with nowait depends on this).  Waiting modes
+        # re-budget the wait after admission — the deadline is per phase.
+        executor.post(region, timeout=timeout)  # line 8
 
         if mode in _FIRE_AND_FORGET:  # lines 10-12
             return region

@@ -417,12 +417,12 @@ class VirtualTarget(abc.ABC):
             if not self._queue.put(item, block=True, timeout=timeout):
                 self._bump("rejected")
                 self._trace_reject(item, session, policy)
-                raise QueueFullError(self.name, self._queue.capacity)
+                raise QueueFullError(self.name, self._queue.capacity, policy)
         elif policy == "reject":
             if not self._queue.put(item, block=False):
                 self._bump("rejected")
                 self._trace_reject(item, session, policy)
-                raise QueueFullError(self.name, self._queue.capacity)
+                raise QueueFullError(self.name, self._queue.capacity, policy)
         else:  # caller_runs
             if not self._queue.put(item, block=False):
                 if isinstance(item, TargetRegion) and item.done:

@@ -1,0 +1,38 @@
+"""A live event-driven HTTP server on virtual targets (paper Fig. 9).
+
+Figure 9 of the paper sketches its flagship use case: an HTTP server whose
+main thread is the event dispatch thread and whose request handlers are
+``#omp target virtual(...)`` regions.  ``repro.sim`` models that server
+analytically; this package stands it up on real sockets:
+
+* :mod:`server` — the asyncio HTTP/1.1 server (keep-alive, bounded
+  admission under all three rejection policies, per-request deadlines,
+  graceful drain) whose CPU work is dispatched to thread- or
+  process-backed virtual targets;
+* :mod:`loadgen` — in-process open-/closed-loop load generation at
+  10⁵–10⁶-request scale with full latency distributions;
+* :mod:`stats` — request-lifecycle counters and the bridge into
+  ``repro.bench/v1`` documents and ``repro.obs`` Chrome traces;
+* :mod:`soak` — the ``repro check`` phase that kills a worker process
+  under live load and verifies errors-not-hangs.
+
+Entry point: ``python -m repro serve`` (see ``docs/SERVING.md``).
+"""
+
+from .loadgen import LoadResult, make_payload, run_closed_loop, run_open_loop
+from .server import HttpServer, ServeConfig, encrypt_payload
+from .stats import ServerStats, export_trace, latency_entry, serve_document
+
+__all__ = [
+    "HttpServer",
+    "ServeConfig",
+    "encrypt_payload",
+    "LoadResult",
+    "run_closed_loop",
+    "run_open_loop",
+    "make_payload",
+    "ServerStats",
+    "latency_entry",
+    "serve_document",
+    "export_trace",
+]

@@ -1,0 +1,249 @@
+"""In-process asyncio load generator for the Fig. 9 server.
+
+Two shapes, matching the serving-benchmark literature:
+
+* **closed loop** (:func:`run_closed_loop`) — *concurrency* workers, each
+  owning one keep-alive connection, fire the next request the moment the
+  previous response lands.  Measures saturation throughput: offered load
+  self-adjusts to what the server sustains.
+* **open loop** (:func:`run_open_loop`) — requests arrive on a fixed
+  schedule (*rate* per second) regardless of completions, the honest way to
+  observe queueing delay and rejection under overload.
+
+Both run inside the same process/loop as the caller (no external tooling),
+scale to 10⁵–10⁶ requests, and produce a :class:`LoadResult` with the full
+latency distribution, status tallies, and achieved throughput — the raw
+material for ``repro.serve.stats.latency_entry``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..bench.harness import percentile
+
+__all__ = ["LoadResult", "run_closed_loop", "run_open_loop", "make_payload"]
+
+
+def make_payload(n_bytes: int = 64) -> bytes:
+    """A deterministic /encrypt payload (multiple of the 8-byte block)."""
+    n = max(8, (n_bytes + 7) // 8 * 8)
+    return bytes(i & 0xFF for i in range(n))
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    requests: int = 0                 # responses fully received
+    errors: int = 0                   # transport-level failures
+    dropped: int = 0                  # open loop: arrivals past max_outstanding
+    statuses: dict[int, int] = field(default_factory=dict)
+    latencies_s: list[float] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    def record(self, status: int, latency_s: float) -> None:
+        self.requests += 1
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        self.latencies_s.append(latency_s)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def ok(self) -> int:
+        return self.statuses.get(200, 0)
+
+    def summary(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "mode": self.mode,
+            "requests": self.requests,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "duration_s": round(self.duration_s, 3),
+            "throughput_rps": round(self.throughput_rps, 1),
+        }
+        if self.latencies_s:
+            out["latency_ms"] = {
+                "p50": round(percentile(self.latencies_s, 50.0) * 1e3, 3),
+                "p99": round(percentile(self.latencies_s, 99.0) * 1e3, 3),
+                "max": round(max(self.latencies_s) * 1e3, 3),
+            }
+        return out
+
+
+class _Client:
+    """One keep-alive HTTP/1.1 connection with lazy (re)connect."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        #: Headers of the most recent response (tests inspect e.g. the
+        #: X-Rejected-By rejection diagnostics).
+        self.last_headers: dict[str, str] = {}
+
+    async def _connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def request(
+        self, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, bytes, bool]:
+        """Send one request; returns (status, body, keep_alive)."""
+        if self.writer is None or self.writer.is_closing():
+            await self._connect()
+        assert self.reader is not None and self.writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        self.writer.write(head + body)
+        await self.writer.drain()
+        return await self._read_response(self.reader)
+
+    async def _read_response(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, bytes, bool]:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        status = int(line.split(None, 2)[1])
+        length = 0
+        keep_alive = True
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            key = key.strip().lower()
+            headers[key] = value.strip()
+            if key == "content-length":
+                length = int(value.strip())
+            elif key == "connection" and value.strip().lower() == "close":
+                keep_alive = False
+        self.last_headers = headers
+        payload = await reader.readexactly(length) if length else b""
+        if not keep_alive:
+            await self.close()
+        return status, payload, keep_alive
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            try:
+                self.writer.close()
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self.reader = self.writer = None
+
+
+async def run_closed_loop(
+    host: str,
+    port: int,
+    *,
+    requests: int,
+    concurrency: int = 64,
+    payload_bytes: int = 64,
+    path: str = "/encrypt",
+    method: str = "POST",
+) -> LoadResult:
+    """Closed-loop run: *concurrency* keep-alive workers, *requests* total."""
+    result = LoadResult(mode="closed")
+    payload = make_payload(payload_bytes) if method == "POST" else b""
+    remaining = requests
+    lock = asyncio.Lock()
+
+    async def take() -> bool:
+        nonlocal remaining
+        async with lock:
+            if remaining <= 0:
+                return False
+            remaining -= 1
+            return True
+
+    async def worker() -> None:
+        client = _Client(host, port)
+        while await take():
+            t0 = time.perf_counter()
+            try:
+                status, _, _ = await client.request(method, path, payload)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                result.errors += 1
+                await client.close()
+                continue
+            result.record(status, time.perf_counter() - t0)
+        await client.close()
+
+    t_start = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+    result.duration_s = time.perf_counter() - t_start
+    return result
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    *,
+    rate: float,
+    duration: float,
+    payload_bytes: int = 64,
+    path: str = "/encrypt",
+    method: str = "POST",
+    max_outstanding: int = 1024,
+) -> LoadResult:
+    """Open-loop run: fixed arrival schedule of *rate* requests/second.
+
+    Arrivals beyond *max_outstanding* in-flight requests are counted as
+    ``dropped`` rather than spawned — an fd-exhaustion guard that also
+    makes severe overload visible in the result instead of in the OS.
+    """
+    result = LoadResult(mode="open")
+    payload = make_payload(payload_bytes) if method == "POST" else b""
+    pool: list[_Client] = []
+    tasks: set[asyncio.Task[None]] = set()
+
+    async def one() -> None:
+        client = pool.pop() if pool else _Client(host, port)
+        t0 = time.perf_counter()
+        try:
+            status, _, keep = await client.request(method, path, payload)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            result.errors += 1
+            await client.close()
+            return
+        result.record(status, time.perf_counter() - t0)
+        if keep:
+            pool.append(client)
+
+    interval = 1.0 / max(rate, 1e-9)
+    t_start = time.perf_counter()
+    n = 0
+    while time.perf_counter() - t_start < duration:
+        next_at = t_start + n * interval
+        delay = next_at - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        n += 1
+        if len(tasks) >= max_outstanding:
+            result.dropped += 1
+            continue
+        task = asyncio.create_task(one())
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    result.duration_s = time.perf_counter() - t_start
+    for client in pool:
+        await client.close()
+    return result

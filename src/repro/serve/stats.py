@@ -1,0 +1,153 @@
+"""Request-lifecycle statistics and their export surfaces.
+
+Three consumers read a served workload:
+
+* the ``/stats`` endpoint and the CLI summary — :class:`ServerStats`
+  counters plus p50/p99 latency over the recorded samples;
+* ``repro.bench`` — :func:`latency_entry`/:func:`serve_document` shape a
+  live run into a ``repro.bench/v1`` document, so the live server's numbers
+  live in the same schema (and the same ``--compare`` machinery) as the
+  Figure 9 simulation;
+* ``repro.obs`` — every request is dispatched as a :class:`TargetRegion`
+  through ``invoke_target_block``, so with tracing on the trace already
+  carries one ``REGION_SUBMIT → ENQUEUE → DEQUEUE → EXEC`` flow arrow per
+  request and per-target ``QUEUE_DEPTH`` counter tracks; :func:`export_trace`
+  snapshots the session into a Chrome/Perfetto file.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..bench.env import environment_fingerprint
+from ..bench.harness import percentile
+from ..bench.report import SCHEMA
+
+__all__ = ["ServerStats", "latency_entry", "serve_document", "export_trace"]
+
+
+class ServerStats:
+    """Counters and latency samples for one server lifetime.
+
+    Mutated from the event-loop thread (request lifecycle) and read from
+    arbitrary threads (``/stats``, CLI, tests); the lock keeps multi-field
+    snapshots consistent without mattering on the hot path (one acquisition
+    per request).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.connections = 0
+        self.requests = 0
+        self.statuses: dict[int, int] = {}
+        self.rejected = 0          # bounded admission said no (503)
+        self.timeouts = 0          # request deadline expired (504)
+        self.failures = 0          # handler region failed (500)
+        self.draining_rejects = 0  # request arrived during drain (503)
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.latencies_s: list[float] = []
+
+    def record(self, status: int, latency_s: float, *, bytes_in: int = 0,
+               bytes_out: int = 0) -> None:
+        with self._lock:
+            self.requests += 1
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            self.bytes_in += bytes_in
+            self.bytes_out += bytes_out
+            self.latencies_s.append(latency_s)
+
+    def bump(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Consistent view of every counter plus latency percentiles."""
+        with self._lock:
+            lat = list(self.latencies_s)
+            snap: dict[str, Any] = {
+                "connections": self.connections,
+                "requests": self.requests,
+                "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "failures": self.failures,
+                "draining_rejects": self.draining_rejects,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+            }
+        if lat:
+            snap["latency_ms"] = {
+                "p50": round(percentile(lat, 50.0) * 1e3, 3),
+                "p99": round(percentile(lat, 99.0) * 1e3, 3),
+                "max": round(max(lat) * 1e3, 3),
+            }
+        return snap
+
+
+def latency_entry(latencies_s: list[float], *, group: str = "serve",
+                  sample_cap: int = 512) -> dict[str, Any]:
+    """One ``benchmarks`` entry of a ``repro.bench/v1`` document.
+
+    Statistics (including the gate-relevant ``p50_ns``) are computed over
+    the *full* latency distribution; only ``sample_cap`` evenly-strided raw
+    samples are stored, so a 10⁵-request run doesn't balloon the JSON.  The
+    extra ``p99_ns`` key is the serving-specific tail figure — harmless to
+    schema consumers that don't know it.
+    """
+    if not latencies_s:
+        raise ValueError("latency_entry needs at least one sample")
+    ns = [s * 1e9 for s in latencies_s]
+    stride = max(1, len(ns) // sample_cap)
+    return {
+        "group": group,
+        "number": 1,
+        "repeats": len(ns),
+        "trimmed": 0,
+        "samples_ns": [round(s, 1) for s in ns[::stride][:sample_cap]],
+        "min_ns": round(min(ns), 3),
+        "mean_ns": round(sum(ns) / len(ns), 3),
+        "p50_ns": round(percentile(ns, 50.0), 3),
+        "p95_ns": round(percentile(ns, 95.0), 3),
+        "p99_ns": round(percentile(ns, 99.0), 3),
+        "max_ns": round(max(ns), 3),
+    }
+
+
+def serve_document(entries: dict[str, dict[str, Any]],
+                   serve: dict[str, Any]) -> dict[str, Any]:
+    """A ``repro.bench/v1`` document for a live serving run.
+
+    *entries* are benchmark-shaped latency distributions (see
+    :func:`latency_entry`); *serve* carries the serving-specific results —
+    per-backend throughput, status tallies, drain verdicts — under a
+    top-level ``"serve"`` key that schema consumers ignore.
+    """
+    import datetime
+
+    return {
+        "schema": SCHEMA,
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "env": environment_fingerprint(),
+        "protocol": {"warmup": 0, "repeats": 1, "trim": 0.0},
+        "benchmarks": entries,
+        "serve": serve,
+    }
+
+
+def export_trace(path: str) -> int:
+    """Write the current trace session as a Chrome trace; returns event count.
+
+    With ``REPRO_TRACE=1`` (or ``--trace`` on the CLI) a served workload
+    exports the same flow-arrow timeline every other workload does: one
+    submit→exec arrow per request region, queue-depth counter tracks per
+    target, worker lifecycle instants for process backends.
+    """
+    from .. import obs
+
+    events = obs.session().events()
+    obs.write_chrome_trace(path, events)
+    return len(events)

@@ -1,0 +1,179 @@
+"""Satellite contracts the serve subsystem leans on in the asyncio adapter.
+
+* rejection is *structured*: a full bounded queue raises
+  :class:`QueueFullError` carrying the target name, capacity and policy,
+  so an admission layer (the HTTP 503 mapping) never parses messages;
+* ``caller_runs`` landing on the event-loop thread is legal but hazardous
+  — the adapter logs a warning naming the region and the better options;
+* ``shutdown(wait=True)`` with stuck in-flight regions downgrades to
+  cancellation after a drain grace instead of deadlocking, and says so
+  with a ``describe()`` diagnostic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+
+import pytest
+
+from repro import obs
+from repro.adapters import register_asyncio_edt
+from repro.core import PjRuntime, QueueFullError
+from repro.core import injection
+from repro.core.region import RegionState, TargetRegion
+
+_ADAPTER_LOGGER = "repro.adapters.asyncio_target"
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    obs.disable()
+    obs.session().clear()
+    injection.uninstall()
+    yield
+    obs.disable()
+    obs.session().clear()
+    injection.uninstall()
+
+
+@pytest.fixture()
+def rt():
+    runtime = PjRuntime()
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+class _AlwaysFull:
+    def __call__(self, owner: str) -> bool:
+        return True
+
+
+class TestStructuredRejection:
+    def test_reject_error_carries_name_capacity_policy(self, rt):
+        injection.install(injection.InjectionHooks(force_queue_full=_AlwaysFull()))
+
+        async def main():
+            target = register_asyncio_edt(
+                rt, "aio", queue_capacity=3, rejection_policy="reject"
+            )
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFullError) as exc_info:
+                target.post(TargetRegion(lambda: None, name="r1"))
+            return exc_info.value
+
+        exc = asyncio.run(main())
+        assert exc.name == "aio"
+        assert exc.capacity == 3
+        assert exc.policy == "reject"
+
+    def test_block_timeout_error_carries_block_policy(self, rt):
+        injection.install(injection.InjectionHooks(force_queue_full=_AlwaysFull()))
+
+        async def main():
+            target = register_asyncio_edt(
+                rt, "aio", queue_capacity=2, rejection_policy="block"
+            )
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFullError) as exc_info:
+                target.post(TargetRegion(lambda: None, name="r1"),
+                            timeout=0.05)
+            return exc_info.value, target.stats["rejected"]
+
+        exc, rejected = asyncio.run(main())
+        assert exc.policy == "block"
+        assert exc.name == "aio"
+        assert rejected == 1  # a blown block-timeout counts as a rejection
+
+
+class TestCallerRunsOnLoopWarning:
+    def test_caller_runs_on_the_loop_thread_warns(self, rt, caplog):
+        injection.install(injection.InjectionHooks(force_queue_full=_AlwaysFull()))
+
+        async def main():
+            target = register_asyncio_edt(
+                rt, "aio", queue_capacity=2, rejection_policy="caller_runs"
+            )
+            await asyncio.sleep(0)
+            region = TargetRegion(lambda: "inline", name="loop-hazard")
+            target.post(region)  # full -> caller_runs on the loop thread
+            return region.result(timeout=1)
+
+        with caplog.at_level(logging.WARNING, logger=_ADAPTER_LOGGER):
+            assert asyncio.run(main()) == "inline"
+        hazard = [r for r in caplog.records
+                  if "event loop thread" in r.message]
+        assert hazard, "expected a caller_runs-on-loop hazard warning"
+        assert "loop-hazard" in hazard[0].message
+
+    def test_caller_runs_off_loop_does_not_warn(self, rt, caplog):
+        injection.install(injection.InjectionHooks(force_queue_full=_AlwaysFull()))
+
+        async def main():
+            target = register_asyncio_edt(
+                rt, "aio", queue_capacity=2, rejection_policy="caller_runs"
+            )
+            await asyncio.sleep(0)
+            region = TargetRegion(lambda: "inline", name="off-loop")
+            # Post from a foreign (executor) thread: inline execution there
+            # is exactly what caller_runs promises; no hazard.
+            await asyncio.get_running_loop().run_in_executor(
+                None, target.post, region
+            )
+            return region.result(timeout=1)
+
+        with caplog.at_level(logging.WARNING, logger=_ADAPTER_LOGGER):
+            assert asyncio.run(main()) == "inline"
+        assert not [r for r in caplog.records
+                    if "event loop thread" in r.message]
+
+
+class TestDrainDeadline:
+    def test_shutdown_wait_downgrades_after_grace(self, rt, caplog):
+        """A shutdown(wait=True) whose in-flight region cannot run (the
+        loop is busy) must give up after the drain grace, cancel the
+        region, and leave a diagnostic — not deadlock the caller."""
+
+        async def main():
+            target = register_asyncio_edt(rt, "aio")
+            target._drain_grace = 0.2
+            await asyncio.sleep(0)
+            region = TargetRegion(lambda: "never", name="stuck")
+            target.post(region)  # queued behind the current callback
+            waiter = asyncio.get_running_loop().run_in_executor(
+                None, lambda: target.shutdown(wait=True)
+            )
+            t0 = time.monotonic()
+            # Block the loop so the region's callback cannot run and the
+            # off-loop shutdown has to hit its drain deadline.
+            time.sleep(0.6)
+            await waiter
+            return region, target.stats, time.monotonic() - t0
+
+        with caplog.at_level(logging.WARNING, logger=_ADAPTER_LOGGER):
+            region, stats, elapsed = asyncio.run(main())
+        assert region.state is RegionState.CANCELLED
+        assert stats["cancelled_on_shutdown"] == 1
+        assert elapsed < 5.0  # returned at the grace, not the default ack
+        downgrades = [r for r in caplog.records
+                      if "did not drain" in r.message]
+        assert downgrades, "expected the drain-downgrade warning"
+        assert "aio" in downgrades[0].message
+
+    def test_shutdown_wait_clean_drain_does_not_warn(self, rt, caplog):
+        async def main():
+            target = register_asyncio_edt(rt, "aio")
+            await asyncio.sleep(0)
+            region = TargetRegion(lambda: "ok", name="r1")
+            target.post(region)
+            await asyncio.sleep(0.05)  # let it run
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: target.shutdown(wait=True)
+            )
+            return region.result(timeout=1)
+
+        with caplog.at_level(logging.WARNING, logger=_ADAPTER_LOGGER):
+            assert asyncio.run(main()) == "ok"
+        assert not [r for r in caplog.records
+                    if "did not drain" in r.message]
