@@ -23,6 +23,12 @@ sim
 adapters
     Bindings to other event frameworks (asyncio), per the paper's future
     work, including async-I/O offloading.
+dist
+    Process-backed virtual targets: supervised worker processes behind the
+    unchanged ``target`` surface (wire protocol, heartbeats, restarts).
+cluster
+    Socket-connected multi-host virtual targets: the dist machinery over
+    TCP transports to remote worker agents (``repro cluster-worker``).
 obs
     Structured event tracing and metrics: per-thread ring-buffer recorders,
     the REGION_SUBMIT→ENQUEUE→DEQUEUE→EXEC taxonomy, Chrome-trace/Perfetto

@@ -25,6 +25,7 @@ from .stress import (
     StressBodyError,
     StressProfile,
     run_check,
+    run_cluster_phase,
     run_dist_phase,
     run_iteration,
 )
@@ -49,4 +50,5 @@ __all__ = [
     "run_check",
     "run_iteration",
     "run_dist_phase",
+    "run_cluster_phase",
 ]

@@ -58,6 +58,7 @@ __all__ = [
     "run_check",
     "run_iteration",
     "run_dist_phase",
+    "run_cluster_phase",
 ]
 
 #: Label of the guaranteed raising callable posted as op 0 of every
@@ -81,6 +82,7 @@ class StressProfile:
     buffer_size: int
     use_dist: bool
     use_serve: bool = False
+    use_cluster: bool = False
     jitter_probability: float = 0.15
     jitter_max_s: float = 0.002
 
@@ -91,11 +93,12 @@ PROFILES: dict[str, StressProfile] = {
         "smoke", iterations=2, ops=80, buffer_size=1 << 17, use_dist=False
     ),
     # Developer-sized: longer schedules plus the process-target phase with a
-    # worker-death injection, and the live-serving phase (worker kill under
-    # real HTTP load — see repro.serve.soak).
+    # worker-death injection, the live-serving phase (worker kill under real
+    # HTTP load — see repro.serve.soak), and the cluster phase (remote agent
+    # killed mid-region over loopback TCP).
     "soak": StressProfile(
         "soak", iterations=10, ops=250, buffer_size=1 << 18, use_dist=True,
-        use_serve=True,
+        use_serve=True, use_cluster=True,
     ),
 }
 
@@ -488,6 +491,96 @@ def run_dist_phase(profile: StressProfile, seed: int) -> PhaseOutcome:
     return PhaseOutcome("dist", _dedup(violations))
 
 
+def run_cluster_phase(profile: StressProfile, seed: int) -> PhaseOutcome:
+    """Cluster-target phase: two remote agents over loopback TCP, one killed.
+
+    Spawns two real ``repro cluster-worker`` agent processes, routes regions
+    across them through a :class:`~repro.cluster.ClusterTarget`, then kills
+    one agent process mid-region.  The phase proves errors-not-hangs (every
+    handle reaches a terminal state within the budget), shard failover (work
+    posted after the kill still completes on the surviving endpoint) and that
+    the merged trace — including the remote workers' own tracks — still
+    verifies.
+    """
+    # Lazy: the cluster machinery is only needed when this phase runs.
+    from ..cluster import spawn_agent_process
+
+    violations: list[Violation] = []
+    session = _obs.session()
+    session.start(buffer_size=profile.buffer_size)
+    rt = PjRuntime()
+    handles: list[tuple[str, TargetRegion]] = []
+    agent_a = agent_b = None
+    try:
+        agent_a = spawn_agent_process()
+        agent_b = spawn_agent_process()
+        target = rt.create_cluster(
+            "cw",
+            [agent_a.endpoint, agent_b.endpoint],
+            max_restarts=2,
+            heartbeat_interval=0.25,
+        )
+        for i in range(6):
+            label = f"cluster-op{i:02d}"
+            reg = TargetRegion(_dist_sleep, 0.15, name=label)
+            handles.append((label, reg))
+            rt.invoke_target_block("cw", reg, "nowait")
+        time.sleep(0.3)  # let both agents pick up work
+        agent_a.terminate()  # remote host dies mid-region
+        survivors: list[tuple[str, TargetRegion]] = []
+        for i in range(6, 10):
+            label = f"cluster-op{i:02d}"
+            reg = TargetRegion(_dist_sleep, 0.05, name=label)
+            handles.append((label, reg))
+            try:
+                rt.invoke_target_block("cw", reg, "nowait")
+                survivors.append((label, reg))
+            except PyjamaError as exc:
+                reg.request_cancel(exc)
+        for label, reg in handles:
+            if not reg.wait(30.0):
+                violations.append(Violation(
+                    "stuck-handle",
+                    f"region {label!r} failed to reach a terminal state",
+                    name=label,
+                ))
+        # Failover: the surviving endpoint must absorb the post-kill work.
+        if survivors and not any(
+            reg.state.name == "COMPLETED" for _, reg in survivors
+        ):
+            violations.append(Violation(
+                "no-failover",
+                "no post-kill region completed on the surviving endpoint",
+                name="cluster-failover",
+            ))
+        rt.shutdown(wait=True)
+        violations.extend(verify_quiescence([target]))
+    finally:
+        rt.shutdown(wait=False)
+        for handle in (agent_a, agent_b):
+            if handle is not None:
+                handle.close()
+    session.stop()
+    stats = session.stats()
+    events = session.events()
+    if stats["dropped"]:
+        violations.append(Violation(
+            "trace-overflow",
+            f"ring buffers dropped {stats['dropped']} event(s); "
+            "grow the profile's buffer_size",
+        ))
+    else:
+        if not any(e.kind is EventKind.WORKER_CONNECT for e in events):
+            violations.append(Violation(
+                "no-worker-connect",
+                "cluster phase recorded no WORKER_CONNECT instant",
+                name="cluster-trace",
+            ))
+        violations.extend(verify_events(events))
+        violations.extend(crosscheck_outcomes(events, regions=handles))
+    return PhaseOutcome("cluster", _dedup(violations))
+
+
 def run_check(
     profile: str = "smoke",
     seed: int = 0,
@@ -497,14 +590,16 @@ def run_check(
     inject: str | None = None,
     dist: bool | None = None,
     serve: bool | None = None,
+    cluster: bool | None = None,
 ) -> CheckResult:
-    """Run the full check: N stress iterations, then the optional dist and
-    live-serving phases.
+    """Run the full check: N stress iterations, then the optional dist,
+    live-serving and cluster phases.
 
     ``inject`` (a :data:`TAMPERS` key) tampers with iteration 0's recorded
     events so the resulting report demonstrates a detected violation; the
     other iterations run untampered.  ``serve`` forces the HTTP worker-kill
-    phase on or off (default: the profile's ``use_serve``).
+    phase on or off, and ``cluster`` the remote-agent-kill phase (defaults:
+    the profile's ``use_serve`` / ``use_cluster``).
     """
     prof = PROFILES[profile]
     if ops is not None:
@@ -512,6 +607,7 @@ def run_check(
     n_iterations = iterations if iterations is not None else prof.iterations
     use_dist = dist if dist is not None else prof.use_dist
     use_serve = serve if serve is not None else prof.use_serve
+    use_cluster = cluster if cluster is not None else prof.use_cluster
     result = CheckResult(profile=profile, seed=seed, ops=prof.ops, inject=inject)
     for i in range(n_iterations):
         result.phases.append(
@@ -524,6 +620,8 @@ def run_check(
         from ..serve.soak import run_serve_phase
 
         result.phases.append(run_serve_phase(prof, seed))
+    if use_cluster:
+        result.phases.append(run_cluster_phase(prof, seed))
     return result
 
 

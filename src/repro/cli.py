@@ -318,9 +318,42 @@ def cmd_check(args: argparse.Namespace) -> int:
         inject=args.inject,
         dist=args.dist,
         serve=args.serve,
+        cluster=args.cluster,
     )
     print(c.render_report(result))
     return 0 if result.ok else 1
+
+
+def cmd_cluster_worker(args: argparse.Namespace) -> int:
+    """Serve as a cluster worker agent until interrupted (docs/DISTRIBUTION.md).
+
+    ``python -m repro cluster-worker --listen 127.0.0.1:0`` binds a
+    kernel-assigned port and announces it on stdout; cluster targets
+    created with ``virtual_target_create_cluster`` connect to the announced
+    ``host:port`` and dispatch region bodies here.
+    """
+    from .cluster import ClusterAgent, parse_endpoint
+    from .cluster.agent import announce_line
+
+    try:
+        host, port = parse_endpoint(args.listen)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    agent = ClusterAgent(host, port, max_slots=args.slots)
+    try:
+        agent.start()
+    except OSError as exc:
+        print(f"cannot listen on {args.listen}: {exc}", file=sys.stderr)
+        return 2
+    print(announce_line(agent.host, agent.port), flush=True)
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; stopping agent", file=sys.stderr)
+    finally:
+        agent.stop()
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -517,12 +550,13 @@ def cmd_kernels(args: argparse.Namespace) -> int:
 
 
 def cmd_dist_info(args: argparse.Namespace) -> int:
-    """Report what process-backed targets (repro.dist) get from this host."""
+    """Report what process/cluster-backed targets get from this host."""
     import multiprocessing
     import os
 
+    from .cluster.transport import MAX_FRAME_BYTES
     from .dist.process_target import DEFAULT_START_METHOD
-    from .dist.wire import HAVE_CLOUDPICKLE
+    from .dist.wire import HAVE_CLOUDPICKLE, PROTOCOL_VERSION
 
     try:
         usable = len(os.sched_getaffinity(0))
@@ -536,6 +570,11 @@ def cmd_dist_info(args: argparse.Namespace) -> int:
         ("cloudpickle", "yes (closures/lambdas cross the wire)" if HAVE_CLOUDPICKLE
          else "no (module-level functions only)"),
         ("defaults", "max_restarts=3 heartbeat=1.0sx3 cancel_grace=5.0s"),
+        ("cluster protocol", f"version {PROTOCOL_VERSION} "
+         "(hello handshake on every connection)"),
+        ("cluster framing", "4-byte big-endian length prefix + pickled "
+         f"message, max frame {MAX_FRAME_BYTES // (1024 * 1024)} MiB"),
+        ("cluster agent", "python -m repro cluster-worker --listen HOST:PORT"),
     ]
     width = max(len(label) for label, _ in rows)
     for label, value in rows:
@@ -678,7 +717,24 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="force the live HTTP worker-kill phase on/off "
                         "(default: per profile; soak runs it)")
+    p.add_argument("--cluster", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force the cluster agent-kill phase on/off: two "
+                        "loopback-TCP agents, one killed mid-region "
+                        "(default: per profile; soak runs it)")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "cluster-worker",
+        help="serve as a cluster worker agent (docs/DISTRIBUTION.md)",
+    )
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="bind address; port 0 = kernel-assigned, announced "
+                        "on stdout (default: 127.0.0.1:0)")
+    p.add_argument("--slots", type=int, default=None,
+                   help="cap concurrent task lanes this agent accepts "
+                        "(default: unlimited)")
+    p.set_defaults(func=cmd_cluster_worker)
 
     p = sub.add_parser(
         "serve",

@@ -1,0 +1,441 @@
+"""Framed, versioned message transports for cluster targets.
+
+``repro.dist`` ships messages over ``multiprocessing.Pipe`` connections; a
+cluster target ships the *same* messages (:mod:`repro.dist.wire`) to worker
+agents on other hosts.  This module defines the transport abstraction both
+ride on, and the two concrete implementations the cluster layer uses:
+
+* :class:`Transport` — the structural interface: ``send(msg)`` /
+  ``recv()`` / ``poll(timeout)`` / ``close()`` plus the liveness flags
+  ``closed`` and ``eof``.  It is deliberately the subset of
+  ``multiprocessing.Connection`` the dist machinery already consumes, so
+  the shipper/supervisor/heartbeat/restart logic generalises over pipes,
+  loopback pairs and sockets without caring which it holds.
+* :class:`LoopbackTransport` — an in-process pair
+  (:func:`loopback_pair`) backed by deques and condition variables.
+  Messages still make a full pickle round trip, so tests exercise the real
+  serialization constraints without opening sockets.
+* :class:`TcpTransport` — a TCP socket carrying length-prefixed frames:
+  a 4-byte big-endian length header followed by the pickled message.
+  ``TCP_NODELAY`` is set (one small frame per dispatch hop; Nagle would
+  serialize the protocol's ping-pongs at 40 ms each).
+
+Failure mapping mirrors pipes so existing error handling transfers: a send
+on a closed/torn transport raises :class:`OSError`, a recv past the peer's
+close raises :class:`EOFError`, and ``poll`` returns True when a recv
+would not block (including when it would raise ``EOFError`` — the caller
+finds the tear immediately instead of sleeping on a corpse).
+
+Every cluster connection opens with a version handshake: both ends send a
+:class:`~repro.dist.wire.HelloMsg` carrying
+:data:`~repro.dist.wire.PROTOCOL_VERSION` and validate the peer's with
+:func:`~repro.dist.wire.check_protocol_version`, so a client and a worker
+agent started from different checkouts fail with a structured
+:class:`~repro.core.errors.ProtocolVersionError` instead of misparsing
+frames (:func:`send_hello` / :func:`expect_hello`).
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import pickle
+import select
+import socket
+import struct
+import threading
+from typing import Any, Protocol, runtime_checkable
+
+from ..core.errors import RuntimeStateError
+from ..dist import wire
+
+__all__ = [
+    "Transport",
+    "LoopbackTransport",
+    "TcpTransport",
+    "TransportListener",
+    "loopback_pair",
+    "connect",
+    "listen",
+    "send_hello",
+    "expect_hello",
+    "parse_endpoint",
+]
+
+#: Length-prefix header: frame payload size as an unsigned 32-bit big-endian.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame (64 MiB).  A header above it means the
+#: stream desynchronized (or a hostile peer); tearing the connection beats
+#: allocating garbage.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Budget for the peer's half of the hello handshake.
+HELLO_TIMEOUT = 10.0
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Structural interface of one message channel end.
+
+    ``multiprocessing.Connection`` satisfies ``send``/``recv``/``poll``/
+    ``close`` natively — this protocol just names the contract the dist
+    machinery consumes, so pipe, loopback and TCP ends interchange.
+    """
+
+    def send(self, msg: Any) -> None: ...  # OSError when closed/torn
+
+    def recv(self) -> Any: ...             # EOFError past the peer's close
+
+    def poll(self, timeout: float = 0.0) -> bool: ...
+
+    def close(self) -> None: ...
+
+    @property
+    def closed(self) -> bool: ...          # this end was close()d
+
+    @property
+    def eof(self) -> bool: ...             # the peer's end is known gone
+
+
+# ------------------------------------------------------------------ loopback
+
+
+class _LoopbackChannel:
+    """One direction of a loopback pair: bounded only by memory."""
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.items: collections.deque[bytes] = collections.deque()
+        self.closed = False
+
+    def put(self, blob: bytes) -> None:
+        with self.cond:
+            if self.closed:
+                raise OSError("loopback transport is closed")
+            self.items.append(blob)
+            self.cond.notify_all()
+
+    def close(self) -> None:
+        with self.cond:
+            self.closed = True
+            self.cond.notify_all()
+
+
+class LoopbackTransport:
+    """In-process :class:`Transport` end; create pairs with
+    :func:`loopback_pair`.
+
+    Messages pickle on send and unpickle on recv — the full serialization
+    constraint of the real wire, minus the socket — so a payload that
+    cannot cross a TCP transport cannot sneak through tests either.
+    """
+
+    def __init__(self, tx: _LoopbackChannel, rx: _LoopbackChannel, label: str) -> None:
+        self._tx = tx
+        self._rx = rx
+        self._label = label
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def eof(self) -> bool:
+        with self._rx.cond:
+            return self._rx.closed and not self._rx.items
+
+    def send(self, msg: Any) -> None:
+        if self._closed:
+            raise OSError("transport is closed")
+        self._tx.put(pickle.dumps(msg))
+
+    def recv(self) -> Any:
+        with self._rx.cond:
+            while not self._rx.items:
+                if self._rx.closed or self._closed:
+                    raise EOFError("loopback peer closed")
+                self._rx.cond.wait()
+            blob = self._rx.items.popleft()
+        return pickle.loads(blob)
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        with self._rx.cond:
+            if self._rx.items or self._rx.closed or self._closed:
+                return True
+            if timeout <= 0:
+                return False
+            self._rx.cond.wait(timeout)
+            return bool(self._rx.items) or self._rx.closed or self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Close both directions: the peer's recv drains then EOFs, and its
+        # sends fail fast instead of queueing into the void.
+        self._tx.close()
+        self._rx.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LoopbackTransport {self._label} closed={self._closed}>"
+
+
+def loopback_pair() -> tuple[LoopbackTransport, LoopbackTransport]:
+    """Two connected in-process transport ends (client-ish, server-ish)."""
+    a2b = _LoopbackChannel()
+    b2a = _LoopbackChannel()
+    return (
+        LoopbackTransport(a2b, b2a, "a"),
+        LoopbackTransport(b2a, a2b, "b"),
+    )
+
+
+# ----------------------------------------------------------------------- TCP
+
+
+class TcpTransport:
+    """A :class:`Transport` end over a connected TCP socket.
+
+    Sends are serialized under a lock (frames must not interleave); recv
+    and poll are intended for one consuming thread, matching how the dist
+    machinery already partitions pipe ends (one shipper or one control
+    loop per end).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.setblocking(True)
+        self._sock: socket.socket | None = sock
+        self._send_lock = threading.Lock()
+        self._buf = bytearray()
+        self._eof = False
+        self._closed = False
+        try:
+            self._peer = "%s:%d" % sock.getpeername()[:2]
+        except OSError:  # pragma: no cover - already torn
+            self._peer = "?"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def eof(self) -> bool:
+        return self._eof
+
+    @property
+    def peer(self) -> str:
+        """``host:port`` of the remote end (diagnostics)."""
+        return self._peer
+
+    # -------------------------------------------------------------- framing
+
+    def _frame_size(self) -> int | None:
+        """Payload length of the buffered frame, or None if incomplete."""
+        if len(self._buf) < _HEADER.size:
+            return None
+        (size,) = _HEADER.unpack_from(self._buf)
+        if size > MAX_FRAME_BYTES:
+            raise OSError(
+                f"frame of {size} bytes from {self._peer} exceeds "
+                f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}; stream desynchronized"
+            )
+        if len(self._buf) < _HEADER.size + size:
+            return None
+        return size
+
+    def _pop_frame(self) -> bytes:
+        size = self._frame_size()
+        assert size is not None
+        frame = bytes(self._buf[_HEADER.size:_HEADER.size + size])
+        del self._buf[:_HEADER.size + size]
+        return frame
+
+    def send(self, msg: Any) -> None:
+        sock = self._sock
+        if sock is None:
+            raise OSError("transport is closed")
+        blob = pickle.dumps(msg)
+        with self._send_lock:
+            # sendall under the lock: a ping racing a cancel must not
+            # interleave header and payload bytes on the stream.
+            sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+    def recv(self) -> Any:
+        while True:
+            if self._frame_size() is not None:
+                return pickle.loads(self._pop_frame())
+            sock = self._sock
+            if sock is None:
+                raise EOFError("transport is closed")
+            if self._eof:
+                raise EOFError(f"peer {self._peer} closed the connection")
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                self._eof = True
+                raise EOFError(f"peer {self._peer} closed the connection")
+            self._buf += chunk
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when :meth:`recv` would not block (data *or* a tear)."""
+        import time as _time
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        while True:
+            if self._frame_size() is not None or self._eof:
+                return True
+            sock = self._sock
+            if sock is None:
+                return True  # recv() raises EOFError immediately
+            remaining = None if deadline is None else deadline - _time.monotonic()
+            if remaining is not None and remaining < 0:
+                return False
+            try:
+                readable, _, _ = select.select([sock], [], [], remaining)
+            except (OSError, ValueError):
+                # Socket closed under us (lane reclaim): recv() will EOF.
+                self._eof = True
+                return True
+            if not readable:
+                return False
+            try:
+                chunk = sock.recv(1 << 16)
+            except (OSError, ValueError):
+                self._eof = True
+                return True
+            if not chunk:
+                self._eof = True
+                return True
+            self._buf += chunk
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        self._closed = True
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - double close
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TcpTransport peer={self._peer} closed={self._closed}>"
+
+
+class TransportListener:
+    """A listening TCP socket that accepts :class:`TcpTransport` ends."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(64)
+        self.host = host
+        self.port = self._sock.getsockname()[1]
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def accept(self, timeout: float | None = None) -> TcpTransport | None:
+        """Accept one connection; None on timeout, OSError once closed."""
+        if self._closed:
+            raise OSError("listener is closed")
+        self._sock.settimeout(timeout)
+        try:
+            conn, _addr = self._sock.accept()
+        except socket.timeout:
+            return None
+        except OSError:
+            if self._closed:
+                raise OSError("listener is closed") from None
+            raise
+        return TcpTransport(conn)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def listen(host: str = "127.0.0.1", port: int = 0) -> TransportListener:
+    """Open a listener; ``port=0`` lets the OS pick (tests, CI)."""
+    return TransportListener(host, port)
+
+
+def connect(host: str, port: int, *, timeout: float = 10.0) -> TcpTransport:
+    """Connect to a cluster worker agent; raises OSError on refusal."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return TcpTransport(sock)
+
+
+def parse_endpoint(spec: "str | tuple[str, int]") -> tuple[str, int]:
+    """``"host:port"`` (or an already-split tuple) → ``(host, port)``."""
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"endpoint {spec!r} is not of the form host:port")
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise ValueError(f"endpoint {spec!r} has a non-numeric port") from None
+
+
+# ------------------------------------------------------------ version hello
+
+
+def send_hello(
+    transport: Transport,
+    role: str,
+    *,
+    target_name: str = "",
+    slot: int = -1,
+    meta: dict | None = None,
+) -> None:
+    """Send this end's versioned hello (first frame on the connection)."""
+    payload = {"pid": os.getpid()}
+    if meta:
+        payload.update(meta)
+    transport.send(
+        wire.HelloMsg(wire.PROTOCOL_VERSION, role, target_name, slot, payload)
+    )
+
+
+def expect_hello(
+    transport: Transport,
+    *,
+    timeout: float = HELLO_TIMEOUT,
+    peer: str | None = None,
+) -> wire.HelloMsg:
+    """Read and validate the peer's hello; the version gate of the protocol.
+
+    Raises :class:`~repro.core.errors.ProtocolVersionError` on a version
+    mismatch and :class:`~repro.core.errors.RuntimeStateError` when the
+    peer sent something other than a hello (or nothing within *timeout*) —
+    both are structured verdicts, never a misparse further in.
+    """
+    if not transport.poll(timeout):
+        raise RuntimeStateError(
+            f"peer {peer or '?'} sent no hello within {timeout}s"
+        )
+    msg = transport.recv()
+    if not isinstance(msg, wire.HelloMsg):
+        raise RuntimeStateError(
+            f"peer {peer or '?'} opened with {type(msg).__name__} instead of "
+            "the hello frame; not a repro cluster endpoint?"
+        )
+    wire.check_protocol_version(msg.version, peer=peer)
+    return msg

@@ -11,6 +11,7 @@ from .api import (
     run_on,
     shutdown_all,
     start_edt,
+    virtual_target_create_cluster,
     virtual_target_create_process_worker,
     virtual_target_create_worker,
     virtual_target_register_edt,
@@ -55,7 +56,7 @@ __all__ = [
     # api
     "on_target", "run_on", "shutdown_all", "start_edt",
     "virtual_target_create_worker", "virtual_target_create_process_worker",
-    "virtual_target_register_edt", "wait_for",
+    "virtual_target_create_cluster", "virtual_target_register_edt", "wait_for",
     # directives
     "DataClause", "DataSharing", "SchedulingMode", "TargetDirective",
     "TargetKind", "TargetProperty",

@@ -40,6 +40,7 @@ __all__ = [
     "virtual_target_register_edt",
     "virtual_target_create_worker",
     "virtual_target_create_process_worker",
+    "virtual_target_create_cluster",
     "start_edt",
     "run_on",
     "on_target",
@@ -85,6 +86,30 @@ def virtual_target_create_process_worker(
     ``start_method``, ``heartbeat_interval``, ``cancel_grace``, ...).
     """
     return (runtime or default_runtime()).create_process_worker(tname, m, **options)
+
+
+def virtual_target_create_cluster(
+    tname: str,
+    endpoints,
+    *,
+    shards: int = 1,
+    runtime: PjRuntime | None = None,
+    **options: Any,
+):
+    """Create a worker virtual target backed by remote cluster worker agents.
+
+    The multi-host counterpart of :func:`virtual_target_create_worker` /
+    :func:`virtual_target_create_process_worker`: the same name-based
+    directive surface, but region bodies execute on agents started with
+    ``python -m repro cluster-worker`` at the given ``host:port``
+    *endpoints*, *shards* lanes per endpoint.  *options* forwards the
+    supervision knobs of :meth:`PjRuntime.create_cluster`
+    (``max_restarts``, ``heartbeat_interval``, ``cancel_grace``,
+    ``connect_timeout``, ...).
+    """
+    return (runtime or default_runtime()).create_cluster(
+        tname, endpoints, shards=shards, **options
+    )
 
 
 def start_edt(tname: str, *, runtime: PjRuntime | None = None) -> EdtTarget:

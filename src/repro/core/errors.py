@@ -138,12 +138,13 @@ class TagError(PyjamaError):
 
 
 class WorkerCrashedError(PyjamaError):
-    """A process-backed virtual target lost a worker process.
+    """A process- or cluster-backed virtual target lost a worker.
 
     Raised to waiters of any region that was in flight on the crashed worker
-    — a hard-killed process cannot report results, so the honest outcome is
-    this error, not a hang.  Carries enough context (worker index, pid, exit
-    code, restart budget) for the supervisor's decision to be auditable.
+    — a hard-killed process (or torn cluster connection) cannot report
+    results, so the honest outcome is this error, not a hang.  Carries
+    enough context (worker index, pid, exit code, restart budget) for the
+    supervisor's decision to be auditable.
     """
 
     def __init__(
@@ -161,7 +162,7 @@ class WorkerCrashedError(PyjamaError):
         self.pid = pid
         self.exitcode = exitcode
         self.region_name = region_name
-        bits = [f"worker {worker_id} of process target {target_name!r} crashed"]
+        bits = [f"worker {worker_id} of target {target_name!r} crashed"]
         if pid is not None:
             bits.append(f"pid={pid}")
         if exitcode is not None:
@@ -171,6 +172,28 @@ class WorkerCrashedError(PyjamaError):
         if detail:
             bits.append(f"({detail})")
         super().__init__(" ".join(bits))
+
+
+class ProtocolVersionError(PyjamaError):
+    """Two ends of a dist/cluster connection speak different wire protocols.
+
+    Raised during the hello handshake when the peer announces a protocol
+    version this build does not speak — cluster workers may be started from
+    a different checkout than the client, and a silent mismatch would
+    surface as undefined behaviour deep inside message dispatch.  Carries
+    both versions so deployments can tell which side is stale.
+    """
+
+    def __init__(self, ours: int, theirs: int, *, peer: str | None = None):
+        self.ours = ours
+        self.theirs = theirs
+        self.peer = peer
+        where = f" from {peer}" if peer else ""
+        super().__init__(
+            f"wire protocol version mismatch{where}: we speak version {ours}, "
+            f"peer speaks version {theirs}; update the older checkout "
+            "(repro.dist.wire.PROTOCOL_VERSION)"
+        )
 
 
 class SerializationError(PyjamaError):

@@ -217,6 +217,51 @@ class PjRuntime:
             raise
         return target
 
+    def create_cluster(
+        self,
+        name: str,
+        endpoints,
+        *,
+        shards: int = 1,
+        queue_capacity: int | None = None,
+        rejection_policy: str | None = None,
+        max_restarts: int = 3,
+        heartbeat_interval: float = 1.0,
+        heartbeat_misses: int = 3,
+        cancel_grace: float = 5.0,
+        connect_timeout: float = 10.0,
+    ):
+        """``virtual_target_create_cluster(tname, endpoints)``: a worker
+        virtual target backed by socket-connected remote worker agents.
+
+        Same directive surface as :meth:`create_worker` /
+        :meth:`create_process_worker`, but region bodies execute on cluster
+        worker agents (``python -m repro cluster-worker``) at the given
+        ``host:port`` *endpoints* — *shards* lanes per endpoint, all pulling
+        one shared queue (least-loaded routing across hosts).  See
+        :class:`~repro.cluster.ClusterTarget` for the reconnect/heartbeat
+        knobs and ``docs/DISTRIBUTION.md`` for failure semantics.
+        """
+        from ..cluster import ClusterTarget  # lazy: cluster imports core
+
+        target = ClusterTarget(
+            name,
+            endpoints,
+            shards=shards,
+            max_restarts=max_restarts,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_misses=heartbeat_misses,
+            cancel_grace=cancel_grace,
+            connect_timeout=connect_timeout,
+            **self._queue_options(queue_capacity, rejection_policy),
+        )
+        try:
+            self.register_target(target)
+        except TargetExistsError:
+            target.shutdown(wait=False)
+            raise
+        return target
+
     def register_edt(
         self,
         name: str,
@@ -319,6 +364,7 @@ class PjRuntime:
         if mode is SchedulingMode.NAME_AS:
             if tag is None:
                 raise RuntimeStateError("name_as scheduling requires a tag")
+            region.tag = tag  # travels with the region (cluster targets ship it)
             self.tags.register(tag, region)
 
         name = target_name if target_name is not None else self.default_target_var

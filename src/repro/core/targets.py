@@ -511,8 +511,9 @@ class VirtualTarget(abc.ABC):
     supports_inline: bool = True
 
     #: Target taxonomy for diagnostics: ``worker`` (thread pool), ``edt``
-    #: (event-dispatch thread), ``process`` (worker processes), ``asyncio``
-    #: (foreign-loop adapter).  Surfaced by :meth:`describe` and
+    #: (event-dispatch thread), ``process`` (worker processes), ``cluster``
+    #: (socket-connected remote workers), ``asyncio`` (foreign-loop
+    #: adapter).  Surfaced by :meth:`describe` and
     #: ``PjRuntime.diagnostic_dump`` so mixed deployments read at a glance.
     kind: str = "virtual"
 
@@ -727,7 +728,17 @@ class VirtualTarget(abc.ABC):
             f"rejected={stats['rejected']} caller_runs={stats['caller_runs']} "
             f"cancelled_on_shutdown={stats['cancelled_on_shutdown']} "
             f"members={members}"
+            f"{self._describe_extra()}"
         )
+
+    def _describe_extra(self) -> str:
+        """Kind-specific suffix for :meth:`describe` (leading space included).
+
+        Subclasses with state the generic line cannot know about — e.g. a
+        cluster target's endpoints and connection counts — append it here
+        instead of overriding (and drifting from) the whole format.
+        """
+        return ""
 
     def drain(self) -> int:
         """Process queued items in the calling thread until the queue is empty.

@@ -17,13 +17,21 @@ Module map:
   control thread);
 * :mod:`~repro.dist.wire` — serialization (cloudpickle when available) and
   the message protocol;
-* :mod:`~repro.dist.supervisor` — heartbeats, restarts, restart budgets;
+* :mod:`~repro.dist.supervisor` — heartbeats, restarts, restart budgets
+  (generalised over a slot interface, so :mod:`repro.cluster` reuses it
+  for socket-connected remote workers);
 * :mod:`~repro.dist.remote_obs` — worker-side event capture and re-stamping
   onto the parent's trace clock.
+
+The wire protocol carries an explicit version
+(:data:`~repro.dist.wire.PROTOCOL_VERSION`): cluster connections open with
+a hello handshake and fail with a structured
+:class:`~repro.core.errors.ProtocolVersionError` on mismatch.
 
 See ``docs/DISTRIBUTION.md`` for the architecture discussion.
 """
 
+from ..core.errors import ProtocolVersionError
 from .process_target import DEFAULT_START_METHOD, ProcessTarget
 from .remote_obs import (
     WorkerEventLog,
@@ -32,13 +40,15 @@ from .remote_obs import (
     worker_track,
 )
 from .supervisor import Supervisor
-from .wire import HAVE_CLOUDPICKLE
+from .wire import HAVE_CLOUDPICKLE, PROTOCOL_VERSION
 from .worker import WorkerConfig, worker_main
 
 __all__ = [
     "DEFAULT_START_METHOD",
     "HAVE_CLOUDPICKLE",
+    "PROTOCOL_VERSION",
     "ProcessTarget",
+    "ProtocolVersionError",
     "Supervisor",
     "WorkerConfig",
     "WorkerEventLog",

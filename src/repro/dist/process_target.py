@@ -125,6 +125,35 @@ class _WorkerSlot:
         """Respawn attempts beyond the slot's first spawn."""
         return max(0, self.spawns - 1)
 
+    # --------------------------------------------- supervisor slot interface
+
+    @property
+    def connected(self) -> bool:
+        """A worker is attached to this lane (live or not-yet-reaped)."""
+        return self.process is not None
+
+    def is_alive(self) -> bool:
+        proc = self.process
+        return proc is not None and proc.is_alive()
+
+    def exit_label(self) -> str:
+        """Human-readable cause of death for supervisor log lines."""
+        proc = self.process
+        return f"exitcode {proc.exitcode}" if proc is not None else "no process"
+
+    def drain_control(self) -> None:
+        """Absorb pending control-channel traffic; pongs refresh liveness."""
+        conn = self.ctrl_conn
+        if conn is None:
+            return
+        try:
+            while conn.poll(0):
+                msg = conn.recv()
+                if isinstance(msg, wire.PongMsg):
+                    self.last_pong = time.monotonic()
+        except (EOFError, OSError):
+            pass  # pipe torn: the supervisor's liveness checks handle it
+
     # ------------------------------------------------------------ pipe sends
 
     def send_ping(self) -> None:

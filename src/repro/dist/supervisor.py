@@ -1,8 +1,11 @@
 """Worker-pool supervision: heartbeats, crash detection, restarts.
 
-A :class:`Supervisor` is one daemon thread per process target.  Division of
-labour with the per-slot shipper threads
-(:mod:`repro.dist.process_target`):
+A :class:`Supervisor` is one daemon thread per remote-backed target — the
+same sweep serves process targets (workers behind pipes,
+:mod:`repro.dist.process_target`) and cluster targets (workers behind
+sockets, :mod:`repro.cluster.target`), because it is written against the
+slot interface below rather than ``multiprocessing`` internals.  Division
+of labour with the per-slot shipper threads:
 
 * a worker that dies **mid-region** is caught by its shipper's result-wait
   loop within one poll tick (the shipper is already watching that worker) —
@@ -30,6 +33,17 @@ Heartbeats are answered by a dedicated control thread worker-side, so a
 pong proves the process schedules threads even while its main thread grinds
 through a long region — ``Process.is_alive()`` alone cannot distinguish
 "computing" from "wedged".
+
+Slot interface
+--------------
+Each entry of ``target._slots`` must provide: ``lock`` (RLock), the flags
+``disabled``/``busy``/``last_pong``/``index``, the properties/methods
+``connected`` (a worker is attached), ``is_alive()`` (it is believed live),
+``drain_control()`` (absorb pending control-channel messages, refreshing
+``last_pong`` on pongs), ``exit_label()`` (human-readable cause of death
+for the log line), ``terminate()`` and ``send_ping()`` — plus a
+``target._respawn_slot(slot)`` entry point.  ``_WorkerSlot`` implements it
+over a process + pipes; ``_ClusterSlot`` over two socket transports.
 """
 
 from __future__ import annotations
@@ -38,19 +52,17 @@ import logging
 import threading
 import time
 
-from . import wire
-
 _logger = logging.getLogger(__name__)
 
 __all__ = ["Supervisor"]
 
 
 class Supervisor:
-    """Periodic health sweep over a process target's worker slots."""
+    """Periodic health sweep over a remote-backed target's worker slots."""
 
     def __init__(
         self,
-        target,  # ProcessTarget; untyped to avoid the circular import
+        target,  # ProcessTarget/ClusterTarget; untyped: circular import
         *,
         interval: float = 1.0,
         misses: int = 3,
@@ -101,19 +113,19 @@ class Supervisor:
 
     def _check_slot(self, slot) -> None:
         with slot.lock:
-            if slot.disabled or slot.process is None:
+            if slot.disabled or not slot.connected:
                 return
-            self._drain_pongs(slot)
-            alive = slot.process.is_alive()
+            slot.drain_control()
+            alive = slot.is_alive()
             busy = slot.busy
             if not alive and busy:
-                return  # the shipper is on it: it polls is_alive every tick
+                return  # the shipper is on it: it polls liveness every tick
             if not alive:
                 # Idle crash: no shipper is watching; respawn eagerly so the
-                # next region does not pay spawn latency into a dead pipe.
+                # next region does not pay spawn latency into a dead lane.
                 _logger.warning(
-                    "worker %d of target %r died idle (exitcode %s); respawning",
-                    slot.index, self._target.name, slot.process.exitcode,
+                    "worker %d of target %r died idle (%s); respawning",
+                    slot.index, self._target.name, slot.exit_label(),
                 )
                 self._target._respawn_slot(slot)
                 return
@@ -128,17 +140,5 @@ class Supervisor:
                 slot.terminate()
                 self._target._respawn_slot(slot)
                 return
-        # Ping outside slot.lock: sends only contend on the ctrl pipe lock.
+        # Ping outside slot.lock: sends only contend on the ctrl channel lock.
         slot.send_ping()
-
-    def _drain_pongs(self, slot) -> None:
-        conn = slot.ctrl_conn
-        if conn is None:
-            return
-        try:
-            while conn.poll(0):
-                msg = conn.recv()
-                if isinstance(msg, wire.PongMsg):
-                    slot.last_pong = time.monotonic()
-        except (EOFError, OSError):
-            pass  # pipe torn: the liveness checks above handle the corpse

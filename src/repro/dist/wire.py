@@ -38,7 +38,7 @@ import pickle
 import traceback
 from typing import Any
 
-from ..core.errors import RemoteExecutionError, SerializationError
+from ..core.errors import ProtocolVersionError, RemoteExecutionError, SerializationError
 
 try:  # cloudpickle widens what can cross the wire (lambdas, closures, ...)
     import cloudpickle as _pickler
@@ -49,19 +49,41 @@ except ImportError:  # pragma: no cover - environment-dependent
 
 __all__ = [
     "HAVE_CLOUDPICKLE",
+    "PROTOCOL_VERSION",
+    "ProtocolVersionError",
+    "check_protocol_version",
     "dumps",
     "loads",
     "pack_exception",
     "unpack_exception",
+    "HelloMsg",
     "SyncMsg",
     "SyncAck",
     "TaskMsg",
+    "ClusterTaskMsg",
     "ResultMsg",
     "StopMsg",
     "PingMsg",
     "PongMsg",
     "CancelMsg",
+    "TagDoneMsg",
 ]
+
+#: Version of the message protocol defined in this module.  Bumped whenever
+#: a message gains/loses a field or changes meaning.  Pipe-backed process
+#: targets never see a mismatch (parent and child share one checkout by
+#: construction), but cluster workers are separate invocations — possibly of
+#: a different checkout — so every socket connection opens with a
+#: :class:`HelloMsg` carrying this number, and a mismatch raises a
+#: structured :class:`ProtocolVersionError` instead of undefined behaviour
+#: deep inside message dispatch.
+PROTOCOL_VERSION = 1
+
+
+def check_protocol_version(theirs: int, *, peer: str | None = None) -> None:
+    """Raise :class:`ProtocolVersionError` unless *theirs* matches ours."""
+    if theirs != PROTOCOL_VERSION:
+        raise ProtocolVersionError(PROTOCOL_VERSION, theirs, peer=peer)
 
 
 def dumps(obj: Any, *, what: str = "payload") -> bytes:
@@ -129,6 +151,21 @@ class _Msg:
         return f"<{type(self).__name__} {fields}>"
 
 
+class HelloMsg(_Msg):
+    """First frame on every cluster connection, both directions.
+
+    ``version`` is the sender's :data:`PROTOCOL_VERSION` — checked with
+    :func:`check_protocol_version` before anything else is parsed, because
+    it is the only field whose meaning must never change.  ``role`` names
+    what the connection is for (``"task"`` or ``"ctrl"``); ``target_name``
+    and ``slot`` identify which parent-side lane the connection serves, so
+    the agent can pair a lane's task and control channels; ``meta`` is a
+    small dict of non-load-bearing extras (pid, hostname) for diagnostics.
+    """
+
+    __slots__ = ("version", "role", "target_name", "slot", "meta")
+
+
 class SyncMsg(_Msg):
     """Parent → worker, first message: clock-sync probe.
 
@@ -159,6 +196,22 @@ class TaskMsg(_Msg):
     """
 
     __slots__ = ("seq", "name", "source", "blob", "trace")
+
+
+class ClusterTaskMsg(_Msg):
+    """Parent → cluster worker: one region to execute, tag-aware.
+
+    The cluster superset of :class:`TaskMsg`: same first five fields, plus
+    ``tag`` — the region's ``name_as`` group, or None.  A tagged task makes
+    the worker send a :class:`TagDoneMsg` the moment the body finishes,
+    *before* the (possibly large) result payload is serialized and shipped,
+    so cross-host ``wait_tag`` progress is visible at body-completion
+    latency rather than result-transfer latency.  A separate class (not a
+    new :class:`TaskMsg` field) keeps the pipe protocol of process targets
+    byte-identical.
+    """
+
+    __slots__ = ("seq", "name", "source", "blob", "trace", "tag")
 
 
 class ResultMsg(_Msg):
@@ -207,3 +260,17 @@ class CancelMsg(_Msg):
     — the region may have finished while the message was in flight)."""
 
     __slots__ = ("seq",)
+
+
+class TagDoneMsg(_Msg):
+    """Cluster worker → parent: a tagged region's body finished.
+
+    Sent on the task channel immediately after the body of a
+    :class:`ClusterTaskMsg` with a non-None ``tag`` returns — before result
+    serialization — so the parent learns of tag-group progress across hosts
+    at body-completion latency.  ``outcome`` is ``"completed"`` or
+    ``"failed"``; the authoritative terminal state (and the value) still
+    arrive with the :class:`ResultMsg` that follows.
+    """
+
+    __slots__ = ("seq", "tag", "outcome")

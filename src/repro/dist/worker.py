@@ -103,8 +103,18 @@ def _error_result(seq: int, exc: BaseException, log: WorkerEventLog) -> wire.Res
     return wire.ResultMsg(seq, False, None, blob, text, tb, log.drain(), log.dropped)
 
 
-def _run_task(msg: wire.TaskMsg, config: WorkerConfig, current: _Current) -> wire.ResultMsg:
-    """Execute one task; always returns a ResultMsg (never raises)."""
+def _run_task(
+    msg: wire.TaskMsg,
+    config: WorkerConfig,
+    current: _Current,
+    on_body_done=None,
+) -> wire.ResultMsg:
+    """Execute one task; always returns a ResultMsg (never raises).
+
+    ``on_body_done(region)``, when given, fires the moment the body returns
+    — before the result is serialized — so callers can announce completion
+    (cluster tag notifications) at body latency, not result-transfer latency.
+    """
     log = WorkerEventLog()
     try:
         body, args, kwargs = wire.loads(msg.blob, what=f"payload of region {msg.name!r}")
@@ -129,6 +139,11 @@ def _run_task(msg: wire.TaskMsg, config: WorkerConfig, current: _Current) -> wir
     finally:
         current.clear()
 
+    if on_body_done is not None:
+        try:
+            on_body_done(region)
+        except Exception:  # noqa: BLE001 - a notification must not kill the task
+            pass
     if region.exception is not None:
         return _error_result(msg.seq, region.exception, log)
     try:

@@ -14,7 +14,10 @@ kinds mirror the paper's lifecycle:
 * ``wait(tag)`` joins — ``TAG_WAIT_BEGIN``/``TAG_WAIT_END``;
 * telemetry — ``QUEUE_DEPTH`` samples (one counter track per target);
 * process-target supervision — ``WORKER_SPAWN``/``WORKER_EXIT``/
-  ``WORKER_CRASH`` instants marking worker-process lifecycle transitions.
+  ``WORKER_CRASH`` instants marking worker-process lifecycle transitions;
+* cluster-target connectivity — ``WORKER_CONNECT``/``WORKER_DISCONNECT``
+  instants marking a socket-connected remote worker lane coming up (clock
+  handshake complete) or going away (connection closed or torn).
 
 Events executed on a *worker process* of a process-backed target are
 recorded worker-side against the worker's own ``perf_counter_ns``, shipped
@@ -63,6 +66,10 @@ class EventKind(enum.IntEnum):
     WORKER_SPAWN = 15    # process target started a worker (arg: pid)
     WORKER_EXIT = 16     # worker process stopped cleanly (arg: pid)
     WORKER_CRASH = 17    # worker process died unexpectedly (arg: exitcode)
+    # Appended (never renumbered): these values cross process boundaries in
+    # pickled worker event logs, so existing values are frozen.
+    WORKER_CONNECT = 18     # cluster lane connected + clock-synced (arg: pid)
+    WORKER_DISCONNECT = 19  # cluster lane lost its connection (arg: detail)
 
     @property
     def is_span_begin(self) -> bool:

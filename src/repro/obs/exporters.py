@@ -38,6 +38,8 @@ _INSTANTS = {
     EventKind.WORKER_SPAWN: "worker-spawn",
     EventKind.WORKER_EXIT: "worker-exit",
     EventKind.WORKER_CRASH: "worker-crash",
+    EventKind.WORKER_CONNECT: "worker-connect",
+    EventKind.WORKER_DISCONNECT: "worker-disconnect",
 }
 
 

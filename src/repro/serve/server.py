@@ -98,7 +98,8 @@ class ServeConfig:
 
     host: str = "127.0.0.1"
     port: int = 0                    # 0: let the OS pick (tests, CI)
-    backend: str = "thread"          # "thread" | "process"
+    backend: str = "thread"          # "thread" | "process" | "cluster"
+    cluster_endpoints: tuple[str, ...] = ()  # agent host:port list (cluster)
     workers: int = 4
     queue_capacity: int = 64
     policy: str = "reject"           # block | reject | caller_runs
@@ -111,8 +112,10 @@ class ServeConfig:
     cpu_target: str = "http-cpu"
 
     def __post_init__(self) -> None:
-        if self.backend not in ("thread", "process"):
+        if self.backend not in ("thread", "process", "cluster"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend == "cluster" and not self.cluster_endpoints:
+            raise ValueError("backend 'cluster' needs cluster_endpoints")
 
 
 @dataclass
@@ -163,7 +166,15 @@ class HttpServer:
         """
         cfg = self.config
         self._loop = asyncio.get_running_loop()
-        if cfg.backend == "process":
+        if cfg.backend == "cluster":
+            self.runtime.create_cluster(
+                cfg.cpu_target,
+                list(cfg.cluster_endpoints),
+                shards=max(1, cfg.workers // len(cfg.cluster_endpoints)),
+                queue_capacity=cfg.queue_capacity,
+                rejection_policy=cfg.policy,
+            )
+        elif cfg.backend == "process":
             self.runtime.create_process_worker(
                 cfg.cpu_target,
                 cfg.workers,
@@ -419,6 +430,9 @@ class HttpServer:
 
     def _stats_payload(self) -> dict[str, Any]:
         snap = self.stats.snapshot()
+        # Uniform across thread/process/cluster: clients key on one field
+        # instead of sniffing target kinds out of the describe() strings.
+        snap["backend"] = self.config.backend
         snap["targets"] = {
             name: self.runtime.get_target(name).describe()
             for name in (self.config.cpu_target, self.config.edt_name)

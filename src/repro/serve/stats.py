@@ -49,18 +49,29 @@ class ServerStats:
         self.bytes_out = 0
         self.latencies_s: list[float] = []
 
-    def record(self, status: int, latency_s: float, *, bytes_in: int = 0,
+    def record(self, status: int | None = None, latency_s: float | None = None,
+               *, counter: str | None = None, bytes_in: int = 0,
                bytes_out: int = 0) -> None:
+        """The single mutation path: every counter update goes through here.
+
+        One lock acquisition covers the whole read-modify-write, whether the
+        call logs a finished request (*status* + *latency_s*) or bumps a
+        named event *counter* — no field is ever incremented outside this
+        guard.
+        """
         with self._lock:
-            self.requests += 1
-            self.statuses[status] = self.statuses.get(status, 0) + 1
-            self.bytes_in += bytes_in
-            self.bytes_out += bytes_out
-            self.latencies_s.append(latency_s)
+            if counter is not None:
+                setattr(self, counter, getattr(self, counter) + 1)
+            if status is not None:
+                self.requests += 1
+                self.statuses[status] = self.statuses.get(status, 0) + 1
+                self.bytes_in += bytes_in
+                self.bytes_out += bytes_out
+                self.latencies_s.append(0.0 if latency_s is None else latency_s)
 
     def bump(self, counter: str) -> None:
-        with self._lock:
-            setattr(self, counter, getattr(self, counter) + 1)
+        """Convenience spelling of ``record(counter=...)``."""
+        self.record(counter=counter)
 
     def snapshot(self) -> dict[str, Any]:
         """Consistent view of every counter plus latency percentiles."""

@@ -1,0 +1,291 @@
+"""ClusterTarget over real TCP loopback: dispatch, faults, traces, tags."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import PjRuntime, virtual_target_create_cluster
+from repro.core.errors import (
+    ProtocolVersionError,
+    RegionFailedError,
+    RuntimeStateError,
+    TargetShutdownError,
+    WorkerCrashedError,
+)
+from repro.core.region import TargetRegion
+from repro.dist import wire
+
+from tests.dist import bodies
+
+
+def _wait_until(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestDispatch:
+    def test_region_completes_over_two_real_endpoints(self, cluster_rt):
+        region = cluster_rt.invoke_target_block(
+            "cw", TargetRegion(bodies.square, 12), "default"
+        )
+        assert region.result() == 144
+
+    def test_work_spreads_across_both_agents(self, cluster_rt, two_agents):
+        a, b = two_agents
+        regions = [
+            cluster_rt.invoke_target_block(
+                "cw", TargetRegion(bodies.worker_pid), "nowait"
+            )
+            for _ in range(8)
+        ]
+        pids = {r.result(timeout=30.0) for r in regions}
+        assert pids <= {a.pid, b.pid}
+        target = cluster_rt.get_target("cw")
+        assert set(target.worker_pids) - {None} <= {a.pid, b.pid}
+
+    def test_failing_body_raises_structured_remote_error(self, cluster_rt):
+        with pytest.raises(RegionFailedError) as exc_info:
+            cluster_rt.invoke_target_block(
+                "cw", TargetRegion(bodies.boom, "kapow")
+            )
+        assert isinstance(exc_info.value.__cause__, ValueError)
+
+    def test_describe_names_the_shard_set(self, cluster_rt):
+        text = cluster_rt.get_target("cw").describe()
+        assert "kind=cluster" in text
+        assert "endpoints=" in text and "shards=1" in text
+
+    def test_pump_and_drain_are_refused(self, cluster_rt):
+        target = cluster_rt.get_target("cw")
+        with pytest.raises(RuntimeStateError):
+            target.process_one()
+        with pytest.raises(RuntimeStateError):
+            target.drain()
+
+
+class TestFaults:
+    def test_agent_killed_mid_region_raises_worker_crashed(self, two_agents):
+        a, b = two_agents
+        rt = PjRuntime()
+        try:
+            # One endpoint, no reconnects: the kill verdict must be crisp.
+            rt.create_cluster("frail", [a.endpoint], max_restarts=0)
+            region = TargetRegion(bodies.sleepy, 30.0, name="doomed")
+            rt.invoke_target_block("frail", region, "nowait")
+            _wait_until(lambda: rt.get_target("frail")._slots[0].busy)
+            start = time.monotonic()
+            a.terminate()
+            with pytest.raises(RegionFailedError) as exc_info:
+                region.result(timeout=30.0)
+            elapsed = time.monotonic() - start
+            cause = exc_info.value.__cause__
+            assert isinstance(cause, WorkerCrashedError)
+            assert cause.target_name == "frail"
+            assert elapsed < 15.0, f"crash detection took {elapsed:.1f}s"
+        finally:
+            rt.shutdown(wait=False)
+
+    def test_shard_failover_to_surviving_endpoint(self, cluster_rt, two_agents):
+        a, b = two_agents
+        target = cluster_rt.get_target("cw")
+        # Warm both lanes up so each agent holds one.
+        warm = [
+            cluster_rt.invoke_target_block(
+                "cw", TargetRegion(bodies.sleepy, 0.2), "nowait"
+            )
+            for _ in range(2)
+        ]
+        _wait_until(lambda: target.connected_count == 2)
+        a.terminate()
+        for r in warm:
+            r.wait(30.0)  # terminal — completed or crashed, never hung
+        # Post-kill work must still complete on the surviving agent.
+        after = [
+            cluster_rt.invoke_target_block(
+                "cw", TargetRegion(bodies.worker_pid), "nowait"
+            )
+            for _ in range(4)
+        ]
+        pids = set()
+        for r in after:
+            assert r.wait(30.0), "post-kill region hung"
+            if r.exception is None:
+                pids.add(r.result())
+        assert pids == {b.pid}, "failover did not route to the survivor"
+        assert target.stats["worker_crashes"] >= 1
+
+    def test_all_endpoints_dead_fails_backlog_and_declares_death(self, agent):
+        rt = PjRuntime()
+        try:
+            rt.create_cluster("doom", [agent.endpoint], max_restarts=0)
+            # Establish the lane, then kill the only agent.
+            rt.invoke_target_block("doom", TargetRegion(bodies.square, 2))
+            agent.terminate()
+            agent.wait()
+            target = rt.get_target("doom")
+            region = TargetRegion(bodies.square, 3, name="orphan")
+            try:
+                rt.invoke_target_block("doom", region, "nowait")
+            except (RegionFailedError, TargetShutdownError):
+                return  # refused outright: also errors-not-hangs
+            assert region.wait(30.0), "backlog region hung on a dead cluster"
+            assert region.exception is not None
+            assert _wait_until(lambda: not target.alive)
+        finally:
+            rt.shutdown(wait=False)
+
+    def test_cooperative_cancel_crosses_the_wire(self, cluster_rt):
+        region = TargetRegion(bodies.cooperative_loop, 30.0, name="coop")
+        cluster_rt.invoke_target_block("cw", region, "nowait")
+        slot_busy = lambda: any(
+            s.busy for s in cluster_rt.get_target("cw")._slots
+        )
+        assert _wait_until(slot_busy), "region never started remotely"
+        region.request_cancel()
+        assert region.wait(15.0), "cancelled region hung"
+        # The remote body polls its token and returns early — the cancel
+        # message reached the agent's ctrl loop and flipped the right token.
+        assert region.result() == "cancelled" or region.exception is not None
+
+
+class TestTraceMerge:
+    def test_remote_events_merge_with_connect_instants(self, cluster_rt):
+        session = obs.enable()
+        try:
+            cluster_rt.invoke_target_block(
+                "cw", TargetRegion(bodies.sleepy, 0.01)
+            )
+            events = list(session.events())
+        finally:
+            obs.disable()
+        kinds = {e.kind.name for e in events}
+        assert "WORKER_CONNECT" in kinds
+        execs = [e for e in events if "[w" in (e.target or "")
+                 and e.kind.name in ("EXEC_BEGIN", "EXEC_END")]
+        assert len(execs) == 2, f"remote exec events missing: {kinds}"
+        assert "pid" in execs[0].thread  # "<endpoint> pid <N>" track label
+        # Clock handshake applied: remote timestamps sort after dispatch.
+        dequeues = [e for e in events if e.kind.name == "DEQUEUE"]
+        assert min(e.ts for e in execs) >= max(e.ts for e in dequeues)
+
+    def test_chrome_export_has_worker_connect_instant(self, cluster_rt):
+        session = obs.enable()
+        try:
+            cluster_rt.invoke_target_block(
+                "cw", TargetRegion(bodies.sleepy, 0.01)
+            )
+            doc = obs.to_chrome_trace(session.events())
+        finally:
+            obs.disable()
+        instants = [ev for ev in doc["traceEvents"]
+                    if ev.get("ph") == "i" and "worker-connect" in ev.get("name", "")]
+        assert instants, "worker-connect instant missing from Chrome export"
+
+
+class TestTags:
+    def test_wait_tag_joins_cross_host_group(self, cluster_rt):
+        for i in range(4):
+            cluster_rt.invoke_target_block(
+                "cw", TargetRegion(bodies.sleepy, 0.05, value=i), "name_as",
+                tag="batch",
+            )
+        cluster_rt.wait_tag("batch", timeout=30.0)
+        target = cluster_rt.get_target("cw")
+        assert _wait_until(
+            lambda: target.stats["tag_notifications"] >= 4
+        ), target.stats
+        assert target.tag_progress().get("batch", 0) >= 4
+
+    def test_on_tag_done_hook_sees_progress(self, cluster_rt):
+        seen = []
+        target = cluster_rt.get_target("cw")
+        target.on_tag_done = lambda tag, seq, outcome: seen.append(
+            (tag, outcome)
+        )
+        cluster_rt.invoke_target_block(
+            "cw", TargetRegion(bodies.square, 5), "name_as", tag="one"
+        )
+        cluster_rt.wait_tag("one", timeout=30.0)
+        assert _wait_until(lambda: ("one", "completed") in seen), seen
+
+
+class TestVersionGate:
+    def test_mismatched_client_is_refused_structurally(self, agent, monkeypatch):
+        # A client from a "different checkout": its hello announces a
+        # protocol the agent does not speak.  Every connect attempt dies in
+        # the handshake with ProtocolVersionError, the lane burns its budget
+        # and the region fails — no hang, no misparse.
+        monkeypatch.setattr(wire, "PROTOCOL_VERSION", 999)
+        rt = PjRuntime()
+        try:
+            rt.create_cluster("stale", [agent.endpoint], max_restarts=0)
+            region = TargetRegion(bodies.square, 2, name="refused")
+            try:
+                rt.invoke_target_block("stale", region, "nowait")
+            except (RegionFailedError, TargetShutdownError):
+                return
+            assert region.wait(30.0), "mismatched-version dispatch hung"
+            assert region.exception is not None
+        finally:
+            rt.shutdown(wait=False)
+
+    def test_expect_hello_raises_against_mismatched_agent(self, agent, monkeypatch):
+        from repro.cluster.transport import connect, expect_hello, parse_endpoint, send_hello
+
+        monkeypatch.setattr(wire, "PROTOCOL_VERSION", 999)
+        tr = connect(*parse_endpoint(agent.endpoint))
+        try:
+            send_hello(tr, "task", target_name="stale", slot=0)
+            with pytest.raises(ProtocolVersionError) as exc_info:
+                expect_hello(tr, peer=agent.endpoint)
+            assert exc_info.value.ours == 999
+            assert exc_info.value.theirs != 999  # the agent's real version
+        finally:
+            tr.close()
+
+
+class TestLifecycle:
+    def test_shutdown_leaves_the_agent_running_for_others(self, agent):
+        rt = PjRuntime()
+        try:
+            virtual_target_create_cluster("first", [agent.endpoint], runtime=rt)
+            assert rt.invoke_target_block(
+                "first", TargetRegion(bodies.square, 3)
+            ).result() == 9
+            rt.get_target("first").shutdown(wait=True)
+            assert agent.alive(), "shutdown must not kill shared agents"
+            # The same agent serves a brand-new target afterwards.
+            virtual_target_create_cluster("second", [agent.endpoint], runtime=rt)
+            assert rt.invoke_target_block(
+                "second", TargetRegion(bodies.add, 2, 3)
+            ).result() == 5
+        finally:
+            rt.shutdown(wait=False)
+
+    def test_hard_shutdown_fails_inflight_fast(self, cluster_rt):
+        region = TargetRegion(bodies.stubborn_sleep, 30.0, name="stuck")
+        cluster_rt.invoke_target_block("cw", region, "nowait")
+        target = cluster_rt.get_target("cw")
+        assert _wait_until(lambda: any(s.busy for s in target._slots))
+        start = time.monotonic()
+        target.shutdown(wait=False)
+        assert region.wait(15.0), "in-flight region hung through hard stop"
+        assert time.monotonic() - start < 15.0
+        assert region.exception is not None
+
+    def test_bad_configuration_is_rejected(self):
+        rt = PjRuntime()
+        try:
+            with pytest.raises(ValueError):
+                rt.create_cluster("empty", [])
+            with pytest.raises(ValueError):
+                rt.create_cluster("neg", ["h:1"], shards=0)
+        finally:
+            rt.shutdown(wait=False)

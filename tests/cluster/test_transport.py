@@ -1,0 +1,180 @@
+"""Transport layer: framing, failure mapping, the versioned hello."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core.errors import ProtocolVersionError, RuntimeStateError
+from repro.cluster.transport import (
+    MAX_FRAME_BYTES,
+    TcpTransport,
+    connect,
+    expect_hello,
+    listen,
+    loopback_pair,
+    parse_endpoint,
+    send_hello,
+)
+from repro.dist import wire
+
+
+def tcp_pair():
+    """A connected (client, server) TcpTransport pair on loopback."""
+    listener = listen()
+    client = connect(listener.host, listener.port)
+    server = listener.accept(timeout=5.0)
+    listener.close()
+    assert server is not None
+    return client, server
+
+
+class TestLoopback:
+    def test_round_trip_pickles(self):
+        a, b = loopback_pair()
+        a.send({"k": [1, 2, 3]})
+        assert b.recv() == {"k": [1, 2, 3]}
+        b.send(wire.PingMsg(7))
+        msg = a.recv()
+        assert isinstance(msg, wire.PingMsg) and msg.sent_ns == 7
+
+    def test_poll_semantics(self):
+        a, b = loopback_pair()
+        assert not b.poll(0)
+        a.send("x")
+        assert b.poll(0)
+        b.recv()
+        assert not b.poll(0.01)
+
+    def test_close_maps_to_pipe_failures(self):
+        a, b = loopback_pair()
+        a.send("last words")
+        a.close()
+        assert b.recv() == "last words"  # drains what was queued
+        assert b.poll(0)                 # a tear counts as readable
+        assert b.eof
+        with pytest.raises(EOFError):
+            b.recv()
+        with pytest.raises(OSError):
+            b.send("into the void")
+        with pytest.raises(OSError):
+            a.send("already closed")
+
+    def test_unpicklable_payload_raises_on_send(self):
+        a, _b = loopback_pair()
+        with pytest.raises(Exception):
+            a.send(threading.Lock())
+
+
+class TestTcp:
+    def test_round_trip_and_large_frame(self):
+        client, server = tcp_pair()
+        try:
+            client.send(list(range(1000)))
+            assert server.recv() == list(range(1000))
+            blob = b"x" * (1 << 20)  # 1 MiB: spans many recv chunks
+            server.send(blob)
+            assert client.recv() == blob
+        finally:
+            client.close()
+            server.close()
+
+    def test_concurrent_sends_do_not_interleave_frames(self):
+        client, server = tcp_pair()
+        try:
+            n = 50
+            payloads = [bytes([i]) * (1000 + i) for i in range(n)]
+            threads = [
+                threading.Thread(target=client.send, args=(p,))
+                for p in payloads
+            ]
+            for t in threads:
+                t.start()
+            received = [server.recv() for _ in range(n)]
+            for t in threads:
+                t.join()
+            assert sorted(received) == sorted(payloads)
+        finally:
+            client.close()
+            server.close()
+
+    def test_peer_close_maps_to_eof_and_oserror(self):
+        client, server = tcp_pair()
+        server.close()
+        assert client.poll(5.0)  # the tear is readable, not a hang
+        with pytest.raises(EOFError):
+            client.recv()
+        assert client.eof
+        client.close()
+
+    def test_oversized_frame_header_tears_the_stream(self):
+        listener = listen()
+        raw = socket.create_connection((listener.host, listener.port))
+        server = listener.accept(timeout=5.0)
+        listener.close()
+        try:
+            raw.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(OSError, match="desynchronized"):
+                server.recv()
+        finally:
+            raw.close()
+            server.close()
+
+    def test_satisfies_transport_protocol(self):
+        from repro.cluster.transport import Transport
+
+        client, server = tcp_pair()
+        try:
+            assert isinstance(client, Transport)
+            a, _ = loopback_pair()
+            assert isinstance(a, Transport)
+        finally:
+            client.close()
+            server.close()
+
+
+class TestParseEndpoint:
+    def test_string_and_tuple(self):
+        assert parse_endpoint("10.0.0.1:9999") == ("10.0.0.1", 9999)
+        assert parse_endpoint(("host", 80)) == ("host", 80)
+
+    @pytest.mark.parametrize("bad", ["nohost", ":80", "host:", "host:abc"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
+
+
+class TestHello:
+    def test_handshake_carries_version_role_and_identity(self):
+        a, b = loopback_pair()
+        send_hello(a, "task", target_name="cw", slot=3)
+        hello = expect_hello(b)
+        assert hello.version == wire.PROTOCOL_VERSION
+        assert hello.role == "task"
+        assert hello.target_name == "cw"
+        assert hello.slot == 3
+        assert hello.meta["pid"] > 0
+
+    def test_version_mismatch_is_a_structured_error(self):
+        a, b = loopback_pair()
+        a.send(wire.HelloMsg(999, "task", "cw", 0, {}))
+        with pytest.raises(ProtocolVersionError) as exc_info:
+            expect_hello(b, peer="them")
+        err = exc_info.value
+        assert err.ours == wire.PROTOCOL_VERSION
+        assert err.theirs == 999
+        assert "them" in str(err)
+
+    def test_non_hello_first_frame_is_rejected(self):
+        a, b = loopback_pair()
+        a.send(wire.PingMsg(1))
+        with pytest.raises(RuntimeStateError, match="instead of"):
+            expect_hello(b)
+
+    def test_silent_peer_times_out(self):
+        _a, b = loopback_pair()
+        with pytest.raises(RuntimeStateError, match="no hello"):
+            expect_hello(b, timeout=0.05)

@@ -1,0 +1,189 @@
+"""Supervisor heartbeat-timeout policy: slow-but-alive vs wedged vs dead.
+
+Regression tests for the sweep's decision table.  The unit half drives
+:meth:`Supervisor.sweep` over scripted fake slots (the documented slot
+interface), so every branch is exercised deterministically — no timing, no
+real processes.  The integration half proves the two user-visible halves of
+the contract on a real process target: a *busy* worker that has stopped
+answering pings is never killed by the supervisor (a transient stall must
+not become a :class:`WorkerCrashedError`), while a worker whose transport
+actually dies mid-region fails the region promptly — crash and stall stay
+distinguishable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import PjRuntime
+from repro.core.errors import RegionFailedError, WorkerCrashedError
+from repro.core.region import TargetRegion
+from repro.dist.supervisor import Supervisor
+
+from . import bodies
+
+STALE = 1000.0  # seconds of fabricated ping silence
+
+
+class FakeSlot:
+    """Scripted implementation of the supervisor's slot interface."""
+
+    def __init__(self, *, connected=True, alive=True, busy=False,
+                 silent_for=0.0, pongs_pending=0, disabled=False):
+        self.lock = threading.RLock()
+        self.index = 0
+        self.pid = 4242
+        self.disabled = disabled
+        self.busy = busy
+        self.last_pong = time.monotonic() - silent_for
+        self._connected = connected
+        self._alive = alive
+        self._pongs = pongs_pending
+        self.terminated = False
+        self.pings = 0
+
+    @property
+    def connected(self):
+        return self._connected
+
+    def is_alive(self):
+        return self._alive and not self.terminated
+
+    def drain_control(self):
+        if self._pongs:
+            self._pongs -= 1
+            self.last_pong = time.monotonic()
+
+    def exit_label(self):
+        return "scripted death"
+
+    def terminate(self):
+        self.terminated = True
+
+    def send_ping(self):
+        self.pings += 1
+
+
+class FakeTarget:
+    name = "fake"
+
+    def __init__(self, *slots):
+        self._slots = list(slots)
+        self.respawned = []
+
+    def _respawn_slot(self, slot):
+        self.respawned.append(slot)
+
+
+def sweep_once(slot) -> FakeTarget:
+    target = FakeTarget(slot)
+    Supervisor(target, interval=0.1, misses=2).sweep()
+    return target
+
+
+class TestSweepDecisionTable:
+    def test_healthy_idle_slot_is_only_pinged(self):
+        slot = FakeSlot()
+        target = sweep_once(slot)
+        assert not slot.terminated
+        assert not target.respawned
+        assert slot.pings == 1
+
+    def test_busy_silent_slot_is_not_killed(self):
+        # Slow-but-alive: silence during a long region is the deadline
+        # machinery's problem (timeout=), never the supervisor's.
+        slot = FakeSlot(busy=True, silent_for=STALE)
+        target = sweep_once(slot)
+        assert not slot.terminated
+        assert not target.respawned
+
+    def test_pending_pong_resets_the_silence_clock(self):
+        # Slow-but-alive: the pong was in flight, not missing.  The sweep
+        # must drain control *before* judging silence.
+        slot = FakeSlot(silent_for=STALE, pongs_pending=1)
+        target = sweep_once(slot)
+        assert not slot.terminated
+        assert not target.respawned
+
+    def test_idle_wedged_slot_is_terminated_and_respawned(self):
+        slot = FakeSlot(silent_for=STALE)
+        target = sweep_once(slot)
+        assert slot.terminated
+        assert target.respawned == [slot]
+
+    def test_idle_corpse_is_respawned_without_terminate(self):
+        slot = FakeSlot(alive=False)
+        target = sweep_once(slot)
+        assert not slot.terminated
+        assert target.respawned == [slot]
+
+    def test_dead_busy_slot_is_left_to_the_shipper(self):
+        # The shipper already watches a busy worker; a second respawn from
+        # the supervisor would race it.
+        slot = FakeSlot(alive=False, busy=True)
+        target = sweep_once(slot)
+        assert not slot.terminated
+        assert not target.respawned
+        assert slot.pings == 0
+
+    def test_disabled_and_disconnected_slots_are_skipped(self):
+        for slot in (FakeSlot(disabled=True), FakeSlot(connected=False)):
+            target = sweep_once(slot)
+            assert not slot.terminated
+            assert not target.respawned
+            assert slot.pings == 0
+
+
+@pytest.fixture()
+def quiet_rt():
+    """1-worker process target whose own supervisor never fires during the
+    test (60s interval) — sweeps below are driven by hand."""
+    runtime = PjRuntime()
+    runtime.create_process_worker("quiet", 1, heartbeat_interval=60.0)
+    yield runtime
+    runtime.shutdown(wait=False)
+
+
+class TestRealTransport:
+    def test_stalled_busy_worker_survives_manual_sweeps(self, quiet_rt):
+        target = quiet_rt.get_target("quiet")
+        region = TargetRegion(bodies.sleepy, 0.8, name="slow")
+        quiet_rt.invoke_target_block("quiet", region, "nowait")
+        slot = target._slots[0]
+        deadline = time.monotonic() + 10.0
+        while not slot.busy and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert slot.busy, "region never started"
+        pid = slot.pid
+        sup = Supervisor(target, interval=0.05, misses=1)
+        for _ in range(5):
+            with slot.lock:
+                slot.last_pong = time.monotonic() - STALE  # fabricate silence
+            sup.sweep()
+        assert region.result(timeout=30.0) == 0.8
+        assert slot.pid == pid
+        assert target.restart_count == 0
+
+    def test_dead_transport_mid_region_fails_fast_without_heartbeat(
+        self, quiet_rt
+    ):
+        # Crash detection must not wait for a heartbeat miss: the shipper
+        # sees the dead transport within its own poll tick.
+        target = quiet_rt.get_target("quiet")
+        region = TargetRegion(bodies.sleepy, 30.0, name="doomed")
+        quiet_rt.invoke_target_block("quiet", region, "nowait")
+        slot = target._slots[0]
+        deadline = time.monotonic() + 10.0
+        while not slot.busy and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert slot.busy, "region never started"
+        start = time.monotonic()
+        slot.process.terminate()
+        with pytest.raises(RegionFailedError) as exc_info:
+            region.result(timeout=30.0)
+        elapsed = time.monotonic() - start
+        assert isinstance(exc_info.value.__cause__, WorkerCrashedError)
+        assert elapsed < 15.0, f"crash detection took {elapsed:.1f}s"
