@@ -28,6 +28,7 @@ from .stress import (
     run_cluster_phase,
     run_dist_phase,
     run_iteration,
+    run_policy_phase,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "run_iteration",
     "run_dist_phase",
     "run_cluster_phase",
+    "run_policy_phase",
 ]

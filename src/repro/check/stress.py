@@ -59,6 +59,7 @@ __all__ = [
     "run_iteration",
     "run_dist_phase",
     "run_cluster_phase",
+    "run_policy_phase",
 ]
 
 #: Label of the guaranteed raising callable posted as op 0 of every
@@ -83,8 +84,16 @@ class StressProfile:
     use_dist: bool
     use_serve: bool = False
     use_cluster: bool = False
+    use_policy: bool = False
     jitter_probability: float = 0.15
     jitter_max_s: float = 0.002
+    # Adaptive-policy ICVs applied to every stress iteration's runtime
+    # (docs/TUNING.md).  The defaults reproduce the unpoliced runtime;
+    # tests/check/test_steal_invariants.py forces stealing and batching on
+    # through these to prove the invariants survive the policies.
+    steal: bool = False
+    batch_max: int = 1
+    autoscale: bool = False
 
 
 PROFILES: dict[str, StressProfile] = {
@@ -94,11 +103,12 @@ PROFILES: dict[str, StressProfile] = {
     ),
     # Developer-sized: longer schedules plus the process-target phase with a
     # worker-death injection, the live-serving phase (worker kill under real
-    # HTTP load — see repro.serve.soak), and the cluster phase (remote agent
-    # killed mid-region over loopback TCP).
+    # HTTP load — see repro.serve.soak), the cluster phase (remote agent
+    # killed mid-region over loopback TCP), and the adaptive-policy phase
+    # (stealing + batching + autoscaling with a lane retired mid-scale-up).
     "soak": StressProfile(
         "soak", iterations=10, ops=250, buffer_size=1 << 18, use_dist=True,
-        use_serve=True, use_cluster=True,
+        use_serve=True, use_cluster=True, use_policy=True,
     ),
 }
 
@@ -220,6 +230,12 @@ def run_iteration(
 
     rt = PjRuntime()
     rt.default_timeout_var = 5.0
+    # Profile-driven adaptive policies: targets created below inherit these
+    # ICVs, so one profile knob subjects the whole iteration to stealing/
+    # batching/autoscaling without touching the op mix.
+    rt.steal_var = profile.steal
+    rt.batch_max_var = profile.batch_max
+    rt.autoscale_var = profile.autoscale
     handles: list[tuple[str, TargetRegion]] = []  # driver-issued regions
     inner: list[tuple[str, TargetRegion]] = []  # regions created inside bodies
     ran: dict[int, tuple[str, str]] = {}  # callable _trace_id -> (label, outcome)
@@ -581,6 +597,104 @@ def run_cluster_phase(profile: StressProfile, seed: int) -> PhaseOutcome:
     return PhaseOutcome("cluster", _dedup(violations))
 
 
+def run_policy_phase(profile: StressProfile, seed: int) -> PhaseOutcome:
+    """Adaptive-policy phase: stealing, batching and autoscaling all engaged.
+
+    Two stealing worker pools share a ring; one ("hot", a single batching
+    lane under an aggressive autoscaler) is saturated while the other
+    ("helper") goes idle, so the burst *must* trigger both ring steals and
+    scale-up decisions.  Mid-burst a lane is forcibly retired — the
+    thread-pool analogue of the dist phase's worker kill, landing exactly in
+    the scale-up window.  The phase then proves:
+
+    * the full invariant verifier stays clean (every stolen ``ENQUEUE``
+      resolves exactly once, spans nest, outcomes tell the truth);
+    * the policies actually engaged — at least one ``POOL_SCALE`` grow
+      decision and one ring-mode ``PUMP_STEAL`` were recorded (a policy
+      phase that silently ran without its policies would prove nothing);
+    * quiescence: the pool shrinks back and no backlog leaks.
+    """
+    from ..policy import PoolAutoscaler  # lazy: keep plain checks light
+
+    r = random.Random(f"{seed}:policy")
+    violations: list[Violation] = []
+    session = _obs.session()
+    session.start(buffer_size=profile.buffer_size)
+    rt = PjRuntime()
+    rt.default_timeout_var = 10.0
+    handles: list[tuple[str, TargetRegion]] = []
+    try:
+        hot = rt.create_worker("hot", 1, steal=True, batch_max=4)
+        rt.create_worker("helper", 1, steal=True, batch_max=2)
+        scaler = PoolAutoscaler(
+            hot, min_lanes=1, max_lanes=3, interval=0.02,
+            grow_after=2, shrink_after=10, cooldown=2,
+        ).start()
+        hot._autoscaler = scaler  # shutdown() now owns the controller's stop
+        # Saturate the hot pool: ~0.3 s of sleepy regions against one lane,
+        # far past the grow watermark, while the helper drains in ~0.02 s
+        # and turns thief.
+        for k in range(150):
+            label = f"policy-op{k:03d}"
+            tname = "helper" if k % 10 == 9 else "hot"
+            reg = TargetRegion(
+                region_body(r.choice([0.001, 0.002]), False, label), name=label
+            )
+            handles.append((label, reg))
+            try:
+                rt.invoke_target_block(tname, reg, "nowait")
+            except PyjamaError as exc:
+                reg.request_cancel(exc)
+            if k == 75:
+                # Worker-kill analogue, mid-scale-up: retire a lane while
+                # the autoscaler is still trying to grow the pool.
+                hot._retire_lane()
+        for label, reg in handles:
+            if not reg.wait(15.0):
+                violations.append(Violation(
+                    "stuck-handle",
+                    f"region {label!r} failed to reach a terminal state",
+                    name=label,
+                ))
+        targets = [rt.get_target("hot"), rt.get_target("helper")]
+        rt.shutdown(wait=True)
+        violations.extend(verify_quiescence(targets))
+    finally:
+        rt.shutdown(wait=False)
+    session.stop()
+    stats = session.stats()
+    events = session.events()
+    if stats["dropped"]:
+        violations.append(Violation(
+            "trace-overflow",
+            f"ring buffers dropped {stats['dropped']} event(s); "
+            "grow the profile's buffer_size",
+        ))
+    else:
+        if not any(
+            e.kind is EventKind.POOL_SCALE and e.name == "grow" for e in events
+        ):
+            violations.append(Violation(
+                "no-pool-scale",
+                "policy phase recorded no POOL_SCALE grow decision",
+                name="policy-autoscale",
+            ))
+        if not any(
+            e.kind is EventKind.PUMP_STEAL
+            and isinstance(e.arg, dict)
+            and e.arg.get("mode") == "steal"
+            for e in events
+        ):
+            violations.append(Violation(
+                "no-steal",
+                "policy phase recorded no ring-mode PUMP_STEAL",
+                name="policy-steal",
+            ))
+        violations.extend(verify_events(events))
+        violations.extend(crosscheck_outcomes(events, regions=handles))
+    return PhaseOutcome("policy", _dedup(violations))
+
+
 def run_check(
     profile: str = "smoke",
     seed: int = 0,
@@ -591,15 +705,17 @@ def run_check(
     dist: bool | None = None,
     serve: bool | None = None,
     cluster: bool | None = None,
+    policy: bool | None = None,
 ) -> CheckResult:
-    """Run the full check: N stress iterations, then the optional dist,
-    live-serving and cluster phases.
+    """Run the full check: N stress iterations, then the optional policy,
+    dist, live-serving and cluster phases.
 
     ``inject`` (a :data:`TAMPERS` key) tampers with iteration 0's recorded
     events so the resulting report demonstrates a detected violation; the
     other iterations run untampered.  ``serve`` forces the HTTP worker-kill
-    phase on or off, and ``cluster`` the remote-agent-kill phase (defaults:
-    the profile's ``use_serve`` / ``use_cluster``).
+    phase on or off, ``cluster`` the remote-agent-kill phase, and ``policy``
+    the adaptive-policy phase (defaults: the profile's ``use_serve`` /
+    ``use_cluster`` / ``use_policy``).
     """
     prof = PROFILES[profile]
     if ops is not None:
@@ -608,11 +724,14 @@ def run_check(
     use_dist = dist if dist is not None else prof.use_dist
     use_serve = serve if serve is not None else prof.use_serve
     use_cluster = cluster if cluster is not None else prof.use_cluster
+    use_policy = policy if policy is not None else prof.use_policy
     result = CheckResult(profile=profile, seed=seed, ops=prof.ops, inject=inject)
     for i in range(n_iterations):
         result.phases.append(
             run_iteration(prof, seed, i, inject=inject if i == 0 else None)
         )
+    if use_policy:
+        result.phases.append(run_policy_phase(prof, seed))
     if use_dist:
         result.phases.append(run_dist_phase(prof, seed))
     if use_serve:

@@ -319,6 +319,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         dist=args.dist,
         serve=args.serve,
         cluster=args.cluster,
+        policy=args.policy,
     )
     print(c.render_report(result))
     return 0 if result.ok else 1
@@ -722,6 +723,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="force the cluster agent-kill phase on/off: two "
                         "loopback-TCP agents, one killed mid-region "
                         "(default: per profile; soak runs it)")
+    p.add_argument("--policy", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force the adaptive-policy phase on/off: stealing + "
+                        "batching + autoscaling with a lane retired "
+                        "mid-scale-up (default: per profile; soak runs it)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(

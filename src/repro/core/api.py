@@ -63,14 +63,17 @@ def virtual_target_register_edt(tname: str, *, runtime: PjRuntime | None = None)
 
 
 def virtual_target_create_worker(
-    tname: str, m: int, *, runtime: PjRuntime | None = None
+    tname: str, m: int, *, runtime: PjRuntime | None = None, **options: Any
 ) -> WorkerTarget:
     """Create a worker virtual target with a maximum of *m* threads.
 
     Paper Table II: *"Creating a worker virtual target with maximum of m
-    threads, and its name is tname."*
+    threads, and its name is tname."*  *options* forwards the queue and
+    adaptive-policy knobs of :meth:`PjRuntime.create_worker`
+    (``queue_capacity``, ``rejection_policy``, ``steal``, ``batch_max``,
+    ``autoscale``, ...); see docs/TUNING.md for the policy reference.
     """
-    return (runtime or default_runtime()).create_worker(tname, m)
+    return (runtime or default_runtime()).create_worker(tname, m, **options)
 
 
 def virtual_target_create_process_worker(

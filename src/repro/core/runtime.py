@@ -23,6 +23,7 @@ from typing import Any, Callable
 
 from ..obs import EventKind
 from ..obs import recorder as _obs
+from ..policy import StealRing, policy_from_env
 from .directives import SchedulingMode, TargetDirective, TargetKind
 from .errors import (
     AwaitTimeoutError,
@@ -69,6 +70,18 @@ class PjRuntime:
       process-global (one :class:`~repro.obs.TraceSession` spans every
       runtime, like ``OMP_TOOL`` spans every device); this ICV is the
       runtime-level view of that switch, also settable via ``REPRO_TRACE=1``.
+    * ``steal_var`` — default work-stealing enablement for worker targets
+      created through this runtime (seeded from ``REPRO_STEAL``; default
+      off).  Opted-in targets join the runtime's
+      :class:`~repro.policy.StealRing` as both thief and victim.
+    * ``batch_max_var`` — default dequeue batch bound for worker targets
+      (seeded from ``REPRO_BATCH_MAX``; default 1 = no batching).
+    * ``autoscale_var`` — default pool-autoscaling enablement for worker
+      targets (seeded from ``REPRO_AUTOSCALE``; default off).
+
+    The three policy ICVs are resolved at :meth:`create_worker` time and are
+    documented, with their decision rules and trace-event signatures, in
+    docs/TUNING.md.
     """
 
     def __init__(self) -> None:
@@ -88,6 +101,17 @@ class PjRuntime:
         self.queue_capacity_var: int | None = None
         self.rejection_policy_var: str = "block"
         self.default_timeout_var: float | None = None
+        # Adaptive-policy ICVs, seeded from the environment at construction
+        # time (not import time) so tests and launch scripts can set the
+        # variables after ``import repro``.  All default to today's
+        # unpoliced behaviour; see docs/TUNING.md.
+        _policy = policy_from_env()
+        self.steal_var: bool = _policy.steal
+        self.batch_max_var: int = _policy.batch_max
+        self.autoscale_var: bool = _policy.autoscale
+        # One steal ring per runtime: worker targets with stealing enabled
+        # join at registration and leave at shutdown.
+        self._steal_ring = StealRing()
         # Observability: dispatch counters (inline = Algorithm 1 line 7,
         # posted = line 8; per-mode tallies for the scheduling clauses).
         self._counters_lock = threading.Lock()
@@ -135,6 +159,11 @@ class PjRuntime:
             self._targets_view = dict(self._targets)
             if self.default_target_var is None:
                 self.default_target_var = target.name
+        # Duck-typed on purpose: any target that opted into stealing (only
+        # thread-backed workers can — a thief must share the victim's address
+        # space) enrolls in this runtime's ring; it leaves at its shutdown.
+        if getattr(target, "steal_enabled", False) and hasattr(target, "join_ring"):
+            target.join_ring(self._steal_ring)
         return target
 
     def _queue_options(
@@ -156,14 +185,31 @@ class PjRuntime:
         *,
         queue_capacity: int | None = None,
         rejection_policy: str | None = None,
+        steal: bool | None = None,
+        batch_max: int | None = None,
+        autoscale: bool | None = None,
+        autoscale_min: int | None = None,
+        autoscale_max: int | None = None,
     ) -> WorkerTarget:
         """``virtual_target_create_worker`` (paper Table II).
 
         *queue_capacity* / *rejection_policy* default to the
-        ``queue_capacity_var`` / ``rejection_policy_var`` ICVs.
+        ``queue_capacity_var`` / ``rejection_policy_var`` ICVs; the adaptive
+        policies (*steal*, *batch_max*, *autoscale* — see docs/TUNING.md)
+        default to the ``steal_var`` / ``batch_max_var`` / ``autoscale_var``
+        ICVs, themselves seeded from ``REPRO_STEAL`` / ``REPRO_BATCH_MAX`` /
+        ``REPRO_AUTOSCALE``.  *autoscale_min* / *autoscale_max* bound the
+        autoscaled lane count (defaults: 1 and ``2 * max_threads``).
         """
         target = WorkerTarget(
-            name, max_threads, **self._queue_options(queue_capacity, rejection_policy)
+            name,
+            max_threads,
+            steal=self.steal_var if steal is None else steal,
+            batch_max=self.batch_max_var if batch_max is None else batch_max,
+            autoscale=self.autoscale_var if autoscale is None else autoscale,
+            autoscale_min=autoscale_min,
+            autoscale_max=autoscale_max,
+            **self._queue_options(queue_capacity, rejection_policy),
         )
         try:
             self.register_target(target)
@@ -516,9 +562,18 @@ class PjRuntime:
                 else:
                     poll = self.await_poll_var
                 if mine.process_one(timeout=poll) and session.enabled:
+                    # Barrier-mode steal: the awaiting thread worked its own
+                    # target's queue, so victim and thief coincide (ring
+                    # steals attribute a sibling target instead).
                     session.emit(
                         EventKind.PUMP_STEAL, target=mine.name, region=region.seq,
                         name=region.label,
+                        arg={
+                            "victim": mine.name,
+                            "thief": mine.name,
+                            "lane": threading.current_thread().name,
+                            "mode": "barrier",
+                        },
                     )
         finally:
             if session.enabled:

@@ -106,6 +106,27 @@ class _Wakeup:
 _WAKEUP = _Wakeup()
 
 
+class _Retire:
+    """Sentinel asking exactly one pool lane to exit (autoscaler shrink)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<retire>"
+
+
+_RETIRE = _Retire()
+
+
+def _is_control(item: Any) -> bool:
+    """True for queue control sentinels (wakeup/shutdown/retire).
+
+    Sentinels ride the queue uncounted: they bypass capacity, never appear in
+    ``work_count()`` and are invisible to dequeue batching and stealing.
+    """
+    return isinstance(item, (_Wakeup, _Shutdown, _Retire))
+
+
 def _item_identity(item: Any) -> tuple[int | None, str]:
     """(region id, trace label) of a queued item.
 
@@ -191,7 +212,7 @@ class _TargetQueue:
             if self._closed:
                 raise TargetShutdownError(self._owner)
             self._items.append(item)
-            if not isinstance(item, (_Wakeup, _Shutdown)):
+            if not _is_control(item):
                 self._work += 1
                 if self._work > self.high_water:
                     self.high_water = self._work
@@ -211,7 +232,7 @@ class _TargetQueue:
             if not self._not_empty.wait_for(lambda: self._items, timeout=timeout):
                 raise queue.Empty
             item = self._items.pop(0)
-            if not isinstance(item, (_Wakeup, _Shutdown)):
+            if not _is_control(item):
                 self._work -= 1
             self._not_full.notify()
             return item
@@ -221,10 +242,60 @@ class _TargetQueue:
             if not self._items:
                 raise queue.Empty
             item = self._items.pop(0)
-            if not isinstance(item, (_Wakeup, _Shutdown)):
+            if not _is_control(item):
                 self._work -= 1
             self._not_full.notify()
             return item
+
+    def get_batch(self, max_items: int, timeout: float | None = None) -> list[Any]:
+        """Dequeue up to *max_items* head items in one lock acquisition.
+
+        The dequeue-batching primitive: FIFO order is preserved exactly, and
+        control sentinels stay batch barriers — a sentinel at the head is
+        returned alone, and collection stops *before* any later sentinel, so
+        shutdown/retire ordering semantics ("everything queued before the
+        sentinel still runs first") are identical to item-at-a-time ``get``.
+        Raises ``queue.Empty`` if nothing arrived within *timeout*.
+        """
+        with self._not_empty:
+            if not self._not_empty.wait_for(lambda: self._items, timeout=timeout):
+                raise queue.Empty
+            batch: list[Any] = []
+            freed = 0
+            while self._items and len(batch) < max_items:
+                head = self._items[0]
+                if _is_control(head):
+                    if batch:
+                        break  # the sentinel waits for the next acquisition
+                    batch.append(self._items.pop(0))
+                    break
+                batch.append(self._items.pop(0))
+                self._work -= 1
+                freed += 1
+            if freed:
+                self._not_full.notify(freed)
+            else:
+                self._not_full.notify()
+            return batch
+
+    def steal_work(self) -> Any | None:
+        """Remove and return the oldest queued work item for a ring thief.
+
+        Returns None when the queue is closed (teardown owns the backlog
+        then — ``drain_items`` and this method serialise on the queue lock,
+        so an item is either stolen or cancelled, never both) or holds no
+        work.  Sentinels are skipped: they address this target's own loops.
+        """
+        with self._lock:
+            if self._closed:
+                return None
+            for i, item in enumerate(self._items):
+                if not _is_control(item):
+                    del self._items[i]
+                    self._work -= 1
+                    self._not_full.notify()
+                    return item
+            return None
 
     # -------------------------------------------------------------- teardown
 
@@ -362,7 +433,7 @@ class VirtualTarget(abc.ABC):
         reason = TargetShutdownError(self.name)
         session = _obs.session()
         for item in self._queue.drain_items():
-            if item is _SHUTDOWN or item is _WAKEUP:
+            if _is_control(item):
                 self._queue.put_internal(item)
             elif isinstance(item, TargetRegion):
                 if item.cancel(reason):
@@ -552,6 +623,12 @@ class VirtualTarget(abc.ABC):
             return False
         if item is _WAKEUP:
             return False
+        if item is _RETIRE:
+            # Addressed to an idle pool lane, not to a pumping thread whose
+            # own region is still running — re-post for a lane to consume.
+            self._queue.put_internal(_RETIRE)
+            time.sleep(0.001)
+            return False
         self._dispatch(item)
         return True
 
@@ -703,8 +780,17 @@ class VirtualTarget(abc.ABC):
                 else:
                     poll_step = poll
                 if self.process_one(timeout=poll_step) and session.enabled:
+                    # Barrier-mode steal: the pumping thread took work from
+                    # its own target, so victim and thief coincide (contrast
+                    # ring stealing, where a sibling lane is the thief).
                     session.emit(
-                        EventKind.PUMP_STEAL, target=self.name, name="pump_until"
+                        EventKind.PUMP_STEAL, target=self.name, name="pump_until",
+                        arg={
+                            "victim": self.name,
+                            "thief": self.name,
+                            "lane": threading.current_thread().name,
+                            "mode": "barrier",
+                        },
                     )
         finally:
             if session.enabled:
@@ -747,32 +833,59 @@ class VirtualTarget(abc.ABC):
         and for single-threaded (manually pumped) EDT usage.
         """
         count = 0
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return count
-            if item is _SHUTDOWN:
-                # Leave the sentinel for the loop that owns it (re-queue
-                # rather than swallow); everything before it has drained.
-                self._queue.put_internal(_SHUTDOWN)
-                return count
-            if item is _WAKEUP:
-                continue
-            self._dispatch(item)
-            count += 1
+        retires = 0
+        try:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    return count
+                if item is _SHUTDOWN:
+                    # Leave the sentinel for the loop that owns it (re-queue
+                    # rather than swallow); everything before it has drained.
+                    self._queue.put_internal(_SHUTDOWN)
+                    return count
+                if item is _WAKEUP:
+                    continue
+                if item is _RETIRE:
+                    # Addressed to a pool lane; hold it aside (re-posting
+                    # inline would loop forever on our own re-post).
+                    retires += 1
+                    continue
+                self._dispatch(item)
+                count += 1
+        finally:
+            for _ in range(retires):
+                self._queue.put_internal(_RETIRE)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} members={self.member_count}>"
 
 
 class WorkerTarget(VirtualTarget):
-    """A worker virtual target: a fixed pool of background threads.
+    """A worker virtual target: a pool of background threads.
 
     Created by ``virtual_target_create_worker(tname, m)`` (paper Table II).
+    The pool is fixed at *max_threads* lanes unless the adaptive policies
+    (docs/TUNING.md) are enabled:
+
+    * ``steal=True`` — idle lanes take work from sibling targets in the
+      runtime's :class:`~repro.policy.StealRing` (and expose their own queue
+      to it); otherwise the lanes block on their own queue exactly as before.
+    * ``batch_max>1`` — each queue acquisition drains up to ``batch_max``
+      items back-to-back, amortising the dispatch fast-path for small
+      regions.  1 (the default) is item-at-a-time, the pre-policy behaviour.
+    * ``autoscale=True`` — a :class:`~repro.policy.PoolAutoscaler` grows and
+      shrinks the lane count between ``autoscale_min`` and ``autoscale_max``
+      against the observed queue depth, with hysteresis.
     """
 
     kind = "worker"
+
+    #: Idle-poll interval (seconds) of a stealing lane: how long it waits on
+    #: its own empty queue before scanning the ring for a victim.  Class
+    #: attribute so tests can shrink it without touching the constructor.
+    _steal_poll = 0.01
 
     def __init__(
         self,
@@ -782,13 +895,27 @@ class WorkerTarget(VirtualTarget):
         daemon: bool = True,
         queue_capacity: int | None = None,
         rejection_policy: str = "block",
+        steal: bool = False,
+        batch_max: int = 1,
+        autoscale: bool = False,
+        autoscale_min: int | None = None,
+        autoscale_max: int | None = None,
     ) -> None:
         if max_threads < 1:
             raise ValueError(f"worker target needs at least 1 thread, got {max_threads}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
         super().__init__(
             name, queue_capacity=queue_capacity, rejection_policy=rejection_policy
         )
         self.max_threads = max_threads
+        self.batch_max = batch_max
+        self.steal_enabled = steal
+        self._steal_ring = None  # attached by PjRuntime.register_target
+        self._daemon = daemon
+        self._lanes_lock = threading.Lock()
+        self._lane_seq = itertools.count(max_threads)
+        self._desired = max_threads  # lane count after applied scale decisions
         self._threads: list[threading.Thread] = []
         for i in range(max_threads):
             t = threading.Thread(
@@ -798,24 +925,148 @@ class WorkerTarget(VirtualTarget):
             )
             self._threads.append(t)
             t.start()
+        self._autoscaler = None
+        self.autoscale_min = autoscale_min if autoscale_min is not None else 1
+        self.autoscale_max = (
+            autoscale_max
+            if autoscale_max is not None
+            else max(2 * max_threads, max_threads + 1)
+        )
+        if autoscale:
+            from ..policy.autoscale import PoolAutoscaler  # lazy: policy is optional
+
+            self._autoscaler = PoolAutoscaler(
+                self, min_lanes=self.autoscale_min, max_lanes=self.autoscale_max
+            ).start()
 
     @property
     def pool_size(self) -> int:
-        return self.max_threads
+        """Lane count after every applied scale decision.
+
+        A retire is counted when decided (the sentinel may sit queued briefly
+        behind work); without autoscaling this is always ``max_threads``.
+        """
+        return self._desired
+
+    @property
+    def autoscaler(self):
+        """The attached :class:`~repro.policy.PoolAutoscaler`, if any."""
+        return self._autoscaler
+
+    # ------------------------------------------------------------ steal ring
+
+    def join_ring(self, ring) -> None:
+        """Enroll in *ring* as both thief and victim (idempotent)."""
+        self._steal_ring = ring
+        ring.register(self)
+
+    def leave_ring(self) -> None:
+        ring, self._steal_ring = self._steal_ring, None
+        if ring is not None:
+            ring.unregister(self)
+
+    def steal_item(self):
+        """One queued work item for a ring thief (None if nothing stealable)."""
+        if self._shutdown.is_set():
+            return None
+        return self._queue.steal_work()
+
+    def _try_steal(self) -> bool:
+        """Steal and run one sibling item; True if work was actually done.
+
+        The stolen item executes through the *victim's* dispatch path, so its
+        ``DEQUEUE``/``EXEC`` events land on the victim target — the target
+        its ``ENQUEUE`` named — and every lifecycle invariant holds.  The
+        thief appears only in the ``PUMP_STEAL`` attribution payload.
+        """
+        ring = self._steal_ring
+        if ring is None or self._shutdown.is_set():
+            return False
+        stolen = ring.steal(self)
+        if stolen is None:
+            return False
+        victim, item = stolen
+        session = _obs.session()
+        if session.enabled:
+            region, label = _item_identity(item)
+            session.emit(
+                EventKind.PUMP_STEAL, target=victim.name, region=region, name=label,
+                arg={
+                    "victim": victim.name,
+                    "thief": self.name,
+                    "lane": threading.current_thread().name,
+                    "mode": "steal",
+                },
+            )
+        victim._dispatch(item)
+        return True
+
+    # ------------------------------------------------------------ autoscaling
+
+    def _grow_lane(self) -> None:
+        """Add one lane (the autoscaler's ``grow`` action)."""
+        with self._lanes_lock:
+            if self._shutdown.is_set():
+                return
+            self._desired += 1
+            t = threading.Thread(
+                target=self._worker_loop,
+                name=f"pyjama-{self.name}-{next(self._lane_seq)}",
+                daemon=self._daemon,
+            )
+            self._threads.append(t)
+            t.start()
+
+    def _retire_lane(self) -> None:
+        """Ask one lane to exit (the autoscaler's ``shrink`` action).
+
+        The retire sentinel queues FIFO behind already-queued work, so a
+        shrink never abandons backlog; whichever lane consumes it exits.
+        """
+        with self._lanes_lock:
+            if self._shutdown.is_set() or self._desired <= 1:
+                return
+            self._desired -= 1
+        self._queue.put_internal(_RETIRE)
+
+    # ------------------------------------------------------------- dispatch
 
     def _worker_loop(self) -> None:
         self._enter_member()
         try:
+            poll = self._steal_poll if self.steal_enabled else None
+            eager = False  # a steal just succeeded: recheck our queue at once
             while True:
-                item = self._queue.get()
-                if item is _SHUTDOWN:
-                    # Propagate so every pool thread sees it exactly once.
-                    return
-                if item is _WAKEUP:
+                try:
+                    batch = self._queue.get_batch(
+                        self.batch_max, timeout=0.0 if eager else poll
+                    )
+                except queue.Empty:
+                    eager = self._try_steal()
                     continue
-                self._dispatch(item)
+                eager = False
+                for item in batch:
+                    if item is _SHUTDOWN:
+                        # Propagate: every pool thread sees it exactly once
+                        # (get_batch returns a sentinel alone, never mid-batch).
+                        return
+                    if item is _RETIRE:
+                        return
+                    if item is _WAKEUP:
+                        continue
+                    self._dispatch(item)
         finally:
             self._exit_member()
+
+    def _describe_extra(self) -> str:
+        bits = []
+        if self.batch_max != 1:
+            bits.append(f"batch_max={self.batch_max}")
+        if self.steal_enabled:
+            bits.append("steal=on")
+        if self._autoscaler is not None:
+            bits.append(f"autoscale={self.autoscale_min}..{self.autoscale_max}")
+        return " " + " ".join(bits) if bits else ""
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the pool.
@@ -824,18 +1075,25 @@ class WorkerTarget(VirtualTarget):
         (sentinels queue FIFO behind it) and the member threads are joined.
         ``wait=False`` cancels: every still-queued region transitions to
         ``CANCELLED`` (failing its waiters fast) and the threads are left to
-        exit on their own.
+        exit on their own.  The autoscaler is stopped first so the lane set
+        cannot change under the sentinel accounting, and the target leaves
+        its steal ring so siblings stop considering it a victim.
         """
         if self._shutdown.is_set():
             return
         self._shutdown.set()
+        if self._autoscaler is not None:
+            self._autoscaler.stop(wait=wait)
+        self.leave_ring()
         if not wait:
             self._queue.close()
             self._cancel_pending()
-        for _ in self._threads:
+        with self._lanes_lock:
+            lanes = list(self._threads)
+        for _ in lanes:
             self._queue.put_internal(_SHUTDOWN)
         if wait:
-            for t in self._threads:
+            for t in lanes:
                 if t is not threading.current_thread():
                     t.join()
 

@@ -9,15 +9,21 @@ kinds mirror the paper's lifecycle:
   ``EXEC_BEGIN``/``EXEC_END`` (the block body ran), ``CANCEL`` (withdrawn),
   ``REJECT`` (bounded-queue rejection), ``INLINE_ELIDE`` (thread-context
   awareness short-circuited the queue, Algorithm 1 lines 6-7);
-* the ``await`` logical barrier — ``BARRIER_ENTER``, ``PUMP_STEAL`` (the
-  barrier processed *another* queued item), ``BARRIER_EXIT``;
+* the ``await`` logical barrier — ``BARRIER_ENTER``, ``PUMP_STEAL`` (a
+  thread executed queued work it did not own: a pumping barrier, or an idle
+  sibling lane stealing), ``BARRIER_EXIT``;
 * ``wait(tag)`` joins — ``TAG_WAIT_BEGIN``/``TAG_WAIT_END``;
 * telemetry — ``QUEUE_DEPTH`` samples (one counter track per target);
 * process-target supervision — ``WORKER_SPAWN``/``WORKER_EXIT``/
   ``WORKER_CRASH`` instants marking worker-process lifecycle transitions;
 * cluster-target connectivity — ``WORKER_CONNECT``/``WORKER_DISCONNECT``
   instants marking a socket-connected remote worker lane coming up (clock
-  handshake complete) or going away (connection closed or torn).
+  handshake complete) or going away (connection closed or torn);
+* adaptive-policy decisions — ``POOL_SCALE`` instants recording every
+  autoscaler grow/shrink verdict (``name`` is the action, ``arg`` the
+  ``{"from", "to", "depth"}`` evidence), and ``PUMP_STEAL`` doubling as the
+  work-stealing marker: its dict ``arg`` attributes the steal to a victim
+  target and thief lane (see docs/TUNING.md).
 
 Events executed on a *worker process* of a process-backed target are
 recorded worker-side against the worker's own ``perf_counter_ns``, shipped
@@ -70,6 +76,8 @@ class EventKind(enum.IntEnum):
     # pickled worker event logs, so existing values are frozen.
     WORKER_CONNECT = 18     # cluster lane connected + clock-synced (arg: pid)
     WORKER_DISCONNECT = 19  # cluster lane lost its connection (arg: detail)
+    POOL_SCALE = 20         # autoscaler grew/shrank a pool (name: action,
+                            # arg: {"from", "to", "depth"})
 
     @property
     def is_span_begin(self) -> bool:

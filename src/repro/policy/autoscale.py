@@ -1,0 +1,127 @@
+"""Pool autoscaling: lane count follows observed queue depth, with hysteresis.
+
+A :class:`PoolAutoscaler` is a small controller thread owned by one worker
+target.  Every ``interval`` seconds it samples the target's backlog (the
+same ``work_count()`` figure the ``QUEUE_DEPTH`` trace counter reports) and
+applies two rules:
+
+* **grow** — backlog exceeded ``high_water_per_lane`` items per lane for
+  ``grow_after`` consecutive samples and the pool is below its ceiling:
+  add one lane.
+* **shrink** — backlog was exactly zero for ``shrink_after`` consecutive
+  samples and the pool is above its floor: retire one lane.
+
+After either action the controller sits out ``cooldown`` samples before
+counting again, so one burst cannot thrash the pool (grow and shrink both
+pay the same damping).  Every decision emits a ``POOL_SCALE`` trace event
+(``name`` = action, ``arg`` = ``{"from", "to", "depth"}``) so the policy is
+as observable as the dispatches it shapes — see docs/TUNING.md for reading
+a policy trace and docs/OBSERVABILITY.md for the event shape.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..obs import EventKind
+from ..obs import recorder as _obs
+
+__all__ = ["PoolAutoscaler"]
+
+
+class PoolAutoscaler:
+    """Grow/shrink one worker target's lane count against queue depth."""
+
+    def __init__(
+        self,
+        target: Any,
+        *,
+        min_lanes: int,
+        max_lanes: int,
+        interval: float = 0.05,
+        high_water_per_lane: float = 2.0,
+        grow_after: int = 2,
+        shrink_after: int = 20,
+        cooldown: int = 4,
+    ) -> None:
+        if min_lanes < 1:
+            raise ValueError(f"autoscale floor must be >= 1, got {min_lanes}")
+        if max_lanes < min_lanes:
+            raise ValueError(
+                f"autoscale ceiling {max_lanes} is below its floor {min_lanes}"
+            )
+        self.target = target
+        self.min_lanes = min_lanes
+        self.max_lanes = max_lanes
+        self.interval = interval
+        self.high_water_per_lane = high_water_per_lane
+        self.grow_after = grow_after
+        self.shrink_after = shrink_after
+        self.cooldown = cooldown
+        #: Scale actions taken (grow + shrink), for telemetry/describe().
+        self.decisions = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"pyjama-scale-{target.name}", daemon=True
+        )
+
+    def start(self) -> "PoolAutoscaler":
+        self._thread.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        self._stop.set()
+        if wait and self._thread.is_alive() and self._thread is not threading.current_thread():
+            self._thread.join(timeout=2.0)
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive() and not self._stop.is_set()
+
+    # ------------------------------------------------------------- controller
+
+    def _run(self) -> None:
+        hot = 0   # consecutive over-watermark samples
+        idle = 0  # consecutive zero-backlog samples
+        cool = 0  # samples left to sit out after an action
+        while not self._stop.wait(self.interval):
+            if cool > 0:
+                cool -= 1
+                continue
+            depth = self.target.work_count()
+            pool = self.target.pool_size
+            if depth > pool * self.high_water_per_lane:
+                hot += 1
+                idle = 0
+                if hot >= self.grow_after and pool < self.max_lanes:
+                    self._scale("grow", pool, pool + 1, depth)
+                    hot = 0
+                    cool = self.cooldown
+            elif depth == 0:
+                idle += 1
+                hot = 0
+                if idle >= self.shrink_after and pool > self.min_lanes:
+                    self._scale("shrink", pool, pool - 1, depth)
+                    idle = 0
+                    cool = self.cooldown
+            else:
+                # In-band backlog: neither rule's streak survives, so a
+                # fluctuating queue holds the pool steady (the hysteresis).
+                hot = 0
+                idle = 0
+
+    def _scale(self, action: str, from_lanes: int, to_lanes: int, depth: int) -> None:
+        if action == "grow":
+            self.target._grow_lane()
+        else:
+            self.target._retire_lane()
+        self.decisions += 1
+        session = _obs.session()
+        if session.enabled:
+            session.emit(
+                EventKind.POOL_SCALE,
+                target=self.target.name,
+                name=action,
+                arg={"from": from_lanes, "to": to_lanes, "depth": depth},
+            )

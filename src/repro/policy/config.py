@@ -1,0 +1,71 @@
+"""Environment-seeded defaults for the adaptive-runtime policies.
+
+Each knob is read when a :class:`~repro.core.runtime.PjRuntime` is
+constructed (not at import time), so tests and launch scripts can set the
+variables after ``import repro`` and still have them take effect on the next
+runtime.  All three default to "off" / "no batching": an unconfigured
+runtime behaves exactly like the pre-policy runtime.  See docs/TUNING.md
+for the full reference table.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "STEAL_ENV",
+    "BATCH_MAX_ENV",
+    "AUTOSCALE_ENV",
+    "PolicyConfig",
+    "policy_from_env",
+]
+
+#: Enable work stealing for worker targets (``1``/``true``/``on``).
+STEAL_ENV = "REPRO_STEAL"
+
+#: Default dequeue batch bound for worker targets (integer >= 1; 1 = no
+#: batching, the pre-policy behaviour).
+BATCH_MAX_ENV = "REPRO_BATCH_MAX"
+
+#: Enable pool autoscaling for worker targets (``1``/``true``/``on``).
+AUTOSCALE_ENV = "REPRO_AUTOSCALE"
+
+_FALSY = frozenset(("", "0", "false", "no", "off"))
+
+
+def _flag(name: str, default: bool = False) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+def _bounded_int(name: str, default: int, minimum: int = 1) -> int:
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        return max(minimum, int(raw))
+    except ValueError:
+        # A malformed value must not take the runtime down at construction
+        # time; the documented default is the safe fallback.
+        return default
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """The resolved policy defaults a runtime starts from."""
+
+    steal: bool = False
+    batch_max: int = 1
+    autoscale: bool = False
+
+
+def policy_from_env() -> PolicyConfig:
+    """Read ``REPRO_STEAL`` / ``REPRO_BATCH_MAX`` / ``REPRO_AUTOSCALE``."""
+    return PolicyConfig(
+        steal=_flag(STEAL_ENV),
+        batch_max=_bounded_int(BATCH_MAX_ENV, 1),
+        autoscale=_flag(AUTOSCALE_ENV),
+    )

@@ -1,0 +1,18 @@
+"""Trace-session isolation for the policy suite (the session is
+process-global; several tests here record policy events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_session():
+    obs.disable()
+    obs.session().clear()
+    yield
+    obs.disable()
+    obs.session().clear()
+    obs.session().buffer_size = obs.DEFAULT_BUFFER_SIZE

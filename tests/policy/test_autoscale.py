@@ -1,0 +1,125 @@
+"""Pool autoscaling: hysteresis, bounds, and POOL_SCALE evidence."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.targets import WorkerTarget
+from repro.obs import EventKind
+from repro.policy import PoolAutoscaler
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def test_bounds_validation():
+    t = WorkerTarget("t", 1)
+    try:
+        with pytest.raises(ValueError):
+            PoolAutoscaler(t, min_lanes=0, max_lanes=2)
+        with pytest.raises(ValueError):
+            PoolAutoscaler(t, min_lanes=3, max_lanes=2)
+    finally:
+        t.shutdown(wait=True)
+
+
+def test_grows_under_backlog_and_shrinks_back_when_idle():
+    obs.enable()
+    t = WorkerTarget("elastic", 1)
+    scaler = PoolAutoscaler(
+        t, min_lanes=1, max_lanes=3, interval=0.02,
+        grow_after=2, shrink_after=5, cooldown=2,
+    ).start()
+    try:
+        gate = threading.Event()
+        t.post(gate.wait)  # wedge the first lane so backlog builds
+        done = []
+        for i in range(40):
+            t.post(lambda i=i: done.append(i))
+        assert _wait_until(lambda: t.pool_size >= 2), "pool never grew"
+        gate.set()
+        assert _wait_until(lambda: len(done) == 40)
+        # With the backlog gone, the idle streak retires the extra lanes.
+        assert _wait_until(lambda: t.pool_size == 1), "pool never shrank back"
+        assert scaler.decisions >= 2
+
+        events = [e for e in obs.session().events() if e.kind is EventKind.POOL_SCALE]
+        grows = [e for e in events if e.name == "grow"]
+        shrinks = [e for e in events if e.name == "shrink"]
+        assert grows and shrinks
+        for e in events:
+            assert e.target == "elastic"
+            assert set(e.arg) == {"from", "to", "depth"}
+            assert abs(e.arg["to"] - e.arg["from"]) == 1
+        # Lane count never escaped the configured bounds.
+        for e in grows:
+            assert e.arg["to"] <= 3
+        for e in shrinks:
+            assert e.arg["to"] >= 1
+    finally:
+        scaler.stop()
+        t.shutdown(wait=True)
+
+
+def test_steady_inband_load_holds_the_pool():
+    t = WorkerTarget("steady", 1)
+    scaler = PoolAutoscaler(
+        t, min_lanes=1, max_lanes=4, interval=0.01,
+        grow_after=2, high_water_per_lane=50.0, shrink_after=1000,
+    ).start()
+    try:
+        for _ in range(30):
+            t.post(lambda: time.sleep(0.002))
+        time.sleep(0.3)
+        # Backlog stayed below the (high) watermark and above zero long
+        # enough that neither streak fired: hysteresis holds the pool.
+        assert t.pool_size == 1
+        assert scaler.decisions == 0
+    finally:
+        scaler.stop()
+        t.shutdown(wait=True)
+
+
+def test_shutdown_stops_an_attached_autoscaler():
+    t = WorkerTarget("auto", 1, autoscale=True, autoscale_min=1, autoscale_max=2)
+    scaler = t.autoscaler
+    assert scaler is not None and scaler.running
+    t.shutdown(wait=True)
+    assert not scaler.running
+
+
+def test_retire_never_drops_below_floor():
+    t = WorkerTarget("floor", 1)
+    try:
+        # Direct retire on a 1-lane pool is refused (pool_size is _desired).
+        t._retire_lane()
+        assert t.pool_size == 1
+        t.post(lambda: None)
+        time.sleep(0.1)
+        assert t.work_count() == 0  # the lane is still alive and consuming
+    finally:
+        t.shutdown(wait=True)
+
+
+def test_grow_then_retire_round_trips_lane_count():
+    t = WorkerTarget("round", 1)
+    try:
+        t._grow_lane()
+        assert t.pool_size == 2
+        t._retire_lane()
+        assert t.pool_size == 1
+        ran = threading.Event()
+        t.post(ran.set)
+        assert ran.wait(5.0)  # surviving lane still serves the queue
+    finally:
+        t.shutdown(wait=True)

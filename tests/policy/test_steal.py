@@ -1,0 +1,146 @@
+"""Work stealing: ring membership, victim selection, and attribution."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+from repro.core.runtime import PjRuntime
+from repro.core.targets import WorkerTarget
+from repro.obs import EventKind
+from repro.policy import StealRing
+
+
+def _targets(*names):
+    out = [WorkerTarget(n, 1, steal=True) for n in names]
+    return out
+
+
+def test_ring_membership_is_idempotent_and_reversible():
+    ring = StealRing()
+    a, b = _targets("a", "b")
+    try:
+        ring.register(a)
+        ring.register(a)
+        ring.register(b)
+        assert len(ring) == 2
+        ring.unregister(a)
+        ring.unregister(a)  # second leave is a no-op, not an error
+        assert ring.members() == [b]
+    finally:
+        a.shutdown(wait=True)
+        b.shutdown(wait=True)
+
+
+def test_steal_picks_deepest_backlog():
+    ring = StealRing()
+    # Park every lane so posted work stays queued and depths are stable.
+    gates = []
+    shallow, deep, thief = _targets("shallow", "deep", "thief")
+    try:
+        for t in (shallow, deep):
+            g = threading.Event()
+            gates.append(g)
+            t.post(g.wait)
+            ring.register(t)
+        ring.register(thief)
+        time.sleep(0.05)  # let the parked lanes pick up their gate items
+        for _ in range(2):
+            shallow.post(lambda: None)
+        for _ in range(6):
+            deep.post(lambda: None)
+        got = ring.steal(thief)
+        assert got is not None
+        victim, _item = got
+        assert victim is deep
+        # The thief itself is never a victim candidate.
+        solo = StealRing()
+        solo.register(thief)
+        assert solo.steal(thief) is None
+    finally:
+        for g in gates:
+            g.set()
+        for t in (shallow, deep, thief):
+            t.shutdown(wait=False)
+
+
+def test_steal_returns_none_when_ring_is_empty_handed():
+    ring = StealRing()
+    a, b = _targets("a", "b")
+    try:
+        ring.register(a)
+        ring.register(b)
+        assert ring.steal(a) is None  # sibling exists but has no work
+    finally:
+        a.shutdown(wait=True)
+        b.shutdown(wait=True)
+
+
+def test_runtime_registers_only_consenting_workers():
+    rt = PjRuntime()
+    try:
+        rt.create_worker("joined", 1, steal=True)
+        rt.create_worker("solo", 1)  # steal off -> stays out of the ring
+        ring = rt._steal_ring
+        names = [t.name for t in ring.members()]
+        assert names == ["joined"]
+    finally:
+        rt.shutdown(wait=True)
+
+
+def test_stolen_work_runs_exactly_once_with_attribution():
+    rt = PjRuntime()
+    try:
+        obs.enable()
+        rt.create_worker("busy", 1, steal=True)
+        rt.create_worker("idle", 1, steal=True)
+        busy = rt.get_target("busy")
+        gate = threading.Event()
+        busy.post(gate.wait)  # wedge the victim's only lane
+        time.sleep(0.05)
+
+        counts = [0] * 20
+        handles = []
+        for i in range(20):
+            h = rt.invoke_target_block(
+                "busy", (lambda i=i: counts.__setitem__(i, counts[i] + 1)), "nowait"
+            )
+            handles.append(h)
+        time.sleep(0.3)  # idle's lane polls, steals, and executes
+        gate.set()
+        for h in handles:
+            h.wait(timeout=5.0)
+
+        assert counts == [1] * 20  # exactly once, never zero, never twice
+        steals = [
+            e for e in obs.session().events()
+            if e.kind is EventKind.PUMP_STEAL
+            and isinstance(e.arg, dict)
+            and e.arg.get("mode") == "steal"
+        ]
+        assert steals, "the wedged victim should have been stolen from"
+        for e in steals:
+            assert e.arg["victim"] == "busy"
+            assert e.arg["thief"] == "idle"
+            assert e.arg["lane"].startswith("pyjama-idle-")
+            # Events for the stolen item still land on the victim target.
+            assert e.target == "busy"
+    finally:
+        rt.shutdown(wait=True)
+
+
+def test_steal_respects_shutdown_cancellation():
+    # Once a queue is closed for drain, steal_work must refuse: an item is
+    # stolen XOR cancelled, never both.
+    t = WorkerTarget("closing", 1, steal=True)
+    gate = threading.Event()
+    t.post(gate.wait)
+    time.sleep(0.05)
+    t.post(lambda: None)
+    t._queue.close()
+    try:
+        assert t._queue.steal_work() is None
+    finally:
+        gate.set()
+        t.shutdown(wait=False)
